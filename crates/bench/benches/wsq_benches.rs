@@ -1,0 +1,193 @@
+//! Criterion micro-benchmarks: the fixed costs underneath the Table 1
+//! experiments (corpus generation, index search, pump round-trips, plan
+//! transformation, zero-latency query execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use wsq_bench::{bench_wsq, constant_pool, Template};
+use wsq_core::{ExecutionMode, QueryOptions};
+use wsq_pump::{PumpConfig, ReqPump, RequestKind, SearchRequest};
+use wsq_websim::{Corpus, CorpusConfig, EngineKind, LatencyModel, SimWeb};
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus");
+    g.sample_size(10);
+    g.bench_function("generate_small", |b| {
+        b.iter(|| Corpus::generate(&CorpusConfig::small()))
+    });
+    g.finish();
+}
+
+fn bench_engine_search(c: &mut Criterion) {
+    let web = SimWeb::build(CorpusConfig::default());
+    let av = web.engine(EngineKind::AltaVista);
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("count/single_term", |b| {
+        b.iter(|| av.count("California"))
+    });
+    g.bench_function("count/near_phrase", |b| {
+        b.iter(|| av.count("Colorado near \"four corners\""))
+    });
+    g.bench_function("pages/top20", |b| b.iter(|| av.search("Texas", 20)));
+    g.finish();
+}
+
+fn bench_pump_roundtrip(c: &mut Criterion) {
+    let web = SimWeb::build(CorpusConfig::small());
+    let av = web.engine(EngineKind::AltaVista);
+    let pump = ReqPump::new(PumpConfig::default());
+    pump.register_service("AV", av);
+    let mut i = 0u64;
+    c.bench_function("pump/register_wait_release", |b| {
+        b.iter(|| {
+            i += 1;
+            let call = pump
+                .register(SearchRequest {
+                    engine: "AV".into(),
+                    // Distinct expressions defeat coalescing so every
+                    // iteration exercises the full path.
+                    expr: format!("texas {i}"),
+                    kind: RequestKind::Count,
+                })
+                .unwrap();
+            let r = pump.wait(call).unwrap();
+            pump.release(call);
+            r
+        })
+    });
+}
+
+fn bench_plan_pipeline(c: &mut Criterion) {
+    let wsq = bench_wsq(LatencyModel::Zero, CorpusConfig::small());
+    let pool = constant_pool();
+    let sql = Template::Three.instantiate(&pool, 0);
+    c.bench_function("plan/parse_plan_asyncify_t3", |b| {
+        b.iter(|| {
+            wsq.explain(&sql).unwrap();
+        })
+    });
+}
+
+fn bench_query_execution(c: &mut Criterion) {
+    // Zero latency isolates engine overhead: this measures what
+    // asynchronous iteration *costs* when there is nothing to overlap.
+    let wsq = Arc::new(std::sync::Mutex::new(bench_wsq(
+        LatencyModel::Zero,
+        CorpusConfig::small(),
+    )));
+    let pool = constant_pool();
+    let mut g = c.benchmark_group("query_zero_latency");
+    g.sample_size(20);
+    for template in Template::all() {
+        let sql = template.instantiate(&pool, 0);
+        for (label, mode) in [
+            ("sync", ExecutionMode::Synchronous),
+            ("async", ExecutionMode::Asynchronous),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, template.name()),
+                &sql,
+                |b, sql| {
+                    let mut w = wsq.lock().unwrap();
+                    b.iter(|| {
+                        w.query_with(
+                            sql,
+                            QueryOptions {
+                                mode,
+                                ..Default::default()
+                            },
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_local_sql(c: &mut Criterion) {
+    let wsq = Arc::new(std::sync::Mutex::new(bench_wsq(
+        LatencyModel::Zero,
+        CorpusConfig::small(),
+    )));
+    let mut g = c.benchmark_group("local_sql");
+    g.bench_function("scan_filter_sort", |b| {
+        let mut w = wsq.lock().unwrap();
+        b.iter(|| {
+            w.query(
+                "SELECT Name, Population FROM States WHERE Population > 1000000 \
+                 ORDER BY Population DESC",
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("group_by", |b| {
+        let mut w = wsq.lock().unwrap();
+        b.iter(|| {
+            w.query("SELECT COUNT(*), SUM(Population), AVG(Population) FROM States")
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    use wsq_common::{Column, DataType, Schema, Tuple, Value};
+    use wsq_storage::buffer::BufferPool;
+    use wsq_storage::disk::MemStorage;
+    use wsq_storage::heap::HeapFile;
+    use wsq_storage::{codec, BTree};
+
+    let mut g = c.benchmark_group("storage");
+
+    // Heap insert throughput.
+    g.bench_function("heap/insert_100", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(32));
+            let file = pool.register_file(Box::new(MemStorage::new()));
+            let heap = HeapFile::create(pool, file).unwrap();
+            for i in 0..100u32 {
+                heap.insert(&i.to_le_bytes()).unwrap();
+            }
+            heap
+        })
+    });
+
+    // B+-tree probe vs full heap scan over 5k rows.
+    let pool = Arc::new(BufferPool::new(256));
+    let hfile = pool.register_file(Box::new(MemStorage::new()));
+    let heap = HeapFile::create(pool.clone(), hfile).unwrap();
+    let ifile = pool.register_file(Box::new(MemStorage::new()));
+    let tree = BTree::create(pool, ifile).unwrap();
+    let schema = Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("v", DataType::Varchar),
+    ]);
+    for i in 0..5000i64 {
+        let t = Tuple::new(vec![Value::Int(i % 500), Value::from(format!("row {i}"))]);
+        let rid = heap.insert(&codec::encode(&schema, &t).unwrap()).unwrap();
+        tree.insert(&codec::encode_key(&Value::Int(i % 500)).unwrap(), rid)
+            .unwrap();
+    }
+    let key = codec::encode_key(&Value::Int(123)).unwrap();
+    g.bench_function("btree/probe_5k_rows", |b| {
+        b.iter(|| tree.search(&key).unwrap())
+    });
+    g.bench_function("heap/full_scan_5k_rows", |b| {
+        b.iter(|| heap.scan().count())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_corpus_generation,
+    bench_engine_search,
+    bench_pump_roundtrip,
+    bench_plan_pipeline,
+    bench_query_execution,
+    bench_local_sql,
+    bench_storage
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Reproduce the paper's **Table 1**: average execution time of the three
+//! evaluation templates, synchronous vs asynchronous iteration, two runs
+//! of eight query instances each.
+//!
+//! ```sh
+//! cargo run -p wsq-bench --release --bin table1            # full scale
+//! cargo run -p wsq-bench --release --bin table1 -- --quick # smoke run
+//! ```
+//!
+//! Simulated per-request latency defaults to 40ms + up-to-25ms
+//! deterministic jitter — a ~20× scale-down of 1999 search-engine latency
+//! so the full suite finishes in minutes. Absolute seconds therefore
+//! differ from the paper by that factor; the *improvement factors* are the
+//! reproduced quantity.
+
+use wsq_bench::{
+    bench_wsq, paper_table1, render_table1, run_template, BenchScale, Template,
+};
+use wsq_websim::CorpusConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        BenchScale::quick()
+    } else {
+        BenchScale::paper()
+    };
+    println!(
+        "WSQ Table 1 reproduction — latency {:?}+{:?} jitter, {} queries/run, {} runs\n",
+        scale.base_latency, scale.jitter, scale.queries_per_run, scale.runs
+    );
+
+    let mut wsq = bench_wsq(scale.latency(), CorpusConfig::default());
+
+    let mut results = Vec::new();
+    for template in Template::all() {
+        for run in 1..=scale.runs {
+            eprintln!("... {} run {run}", template.name());
+            results.push(run_template(&mut wsq, template, run, &scale));
+        }
+    }
+
+    println!("{}", render_table1(&results));
+
+    println!("Paper's Table 1 (Sun Ultra-2, live AltaVista/Google, Oct 1999):");
+    println!(
+        "{:<24}{:>20}{:>22}{:>14}",
+        "", "Synchronous (secs)", "Asynchronous (secs)", "Improvement"
+    );
+    for (row, s, a, i) in paper_table1() {
+        println!("{row:<24}{s:>20.2}{a:>22.2}{i:>13.1}x");
+    }
+
+    // Shape check: improvements grow with per-query call count, and
+    // asynchronous iteration wins by ~an order of magnitude overall.
+    let avg = |t: Template| {
+        let rs: Vec<&_> = results.iter().filter(|r| r.template == t).collect();
+        rs.iter().map(|r| r.improvement()).sum::<f64>() / rs.len() as f64
+    };
+    let (i1, i2, i3) = (avg(Template::One), avg(Template::Two), avg(Template::Three));
+    println!("\nShape check:");
+    println!("  improvement(T1) = {i1:.1}x  (paper: 6.0–9.4x)");
+    println!("  improvement(T2) = {i2:.1}x  (paper: 12.5–13.5x)");
+    println!("  improvement(T3) = {i3:.1}x  (paper: 16.4–19.6x)");
+    println!(
+        "  monotone in call count (T2 > T1): {}   order-of-magnitude speedup: {}",
+        i2 > i1,
+        (i1 + i2 + i3) / 3.0 >= 10.0
+    );
+    println!("\npump stats: {:?}", wsq.pump().stats());
+}

@@ -1,0 +1,88 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, WsqError>;
+
+/// Unified error type for every WSQ/DSQ subsystem.
+///
+/// A single enum (rather than per-crate error types) keeps the iterator
+/// plumbing simple: every `Executor::next` returns `Result<Option<Tuple>>`
+/// regardless of whether the failure came from storage, planning, or an
+/// external search call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsqError {
+    /// I/O failure in the storage layer (message carries the `std::io::Error`).
+    Io(String),
+    /// A page/record-level storage invariant was violated.
+    Storage(String),
+    /// Catalog problems: unknown/duplicate tables or columns.
+    Catalog(String),
+    /// Lexing or parsing failure, with a position hint.
+    Parse(String),
+    /// Semantic analysis / planning failure (unbound virtual inputs,
+    /// ambiguous columns, type errors).
+    Plan(String),
+    /// Runtime execution failure.
+    Exec(String),
+    /// Failure reported by an external search service.
+    Search(String),
+    /// The request pump was shut down while calls were outstanding.
+    PumpShutdown,
+    /// Type mismatch when evaluating an expression.
+    Type(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for WsqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsqError::Io(m) => write!(f, "i/o error: {m}"),
+            WsqError::Storage(m) => write!(f, "storage error: {m}"),
+            WsqError::Catalog(m) => write!(f, "catalog error: {m}"),
+            WsqError::Parse(m) => write!(f, "parse error: {m}"),
+            WsqError::Plan(m) => write!(f, "planning error: {m}"),
+            WsqError::Exec(m) => write!(f, "execution error: {m}"),
+            WsqError::Search(m) => write!(f, "search error: {m}"),
+            WsqError::PumpShutdown => write!(f, "request pump shut down"),
+            WsqError::Type(m) => write!(f, "type error: {m}"),
+            WsqError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for WsqError {}
+
+impl From<std::io::Error> for WsqError {
+    fn from(e: std::io::Error) -> Self {
+        WsqError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_prefixed() {
+        assert_eq!(
+            WsqError::Parse("bad token".into()).to_string(),
+            "parse error: bad token"
+        );
+        assert_eq!(
+            WsqError::Plan("unbound T1".into()).to_string(),
+            "planning error: unbound T1"
+        );
+        assert_eq!(WsqError::PumpShutdown.to_string(), "request pump shut down");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: WsqError = io.into();
+        assert!(matches!(e, WsqError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,256 @@
+//! DSQ — Database-Supported (Web) Queries.
+//!
+//! The converse direction sketched in the paper's introduction: given a
+//! keyword phrase, use the Web to *correlate* it with terms the database
+//! knows about. For the phrase "scuba diving" and a database of states and
+//! movies, DSQ finds the states and the movies that appear on the Web most
+//! often near the phrase — and even state/movie/phrase **triples** (the
+//! paper's example: an underwater thriller filmed in Florida).
+//!
+//! Implementation: every candidate term becomes one `WebCount`-style
+//! request (`term NEAR phrase`), all issued concurrently through ReqPump —
+//! the same asynchronous-iteration machinery WSQ uses, driven from the
+//! other direction.
+
+use std::sync::Arc;
+use wsq_common::{Result, WsqError};
+use wsq_pump::{CallId, ReqPump, RequestKind, SearchRequest};
+
+use crate::Wsq;
+
+/// A term correlated with the probe phrase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Correlation {
+    /// The database term.
+    pub term: String,
+    /// Pages where the term occurs near the phrase.
+    pub count: u64,
+}
+
+/// A pair of terms jointly correlated with the probe phrase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairCorrelation {
+    /// Term from the first vocabulary.
+    pub a: String,
+    /// Term from the second vocabulary.
+    pub b: String,
+    /// Pages where both terms occur near the phrase.
+    pub count: u64,
+}
+
+/// Explores correlations between Web phrases and database vocabulary.
+pub struct DsqExplorer {
+    pump: Arc<ReqPump>,
+    engine: String,
+    supports_near: bool,
+}
+
+impl DsqExplorer {
+    /// Build an explorer over one of `wsq`'s registered engines.
+    pub fn new(wsq: &Wsq, engine: &str) -> Result<DsqExplorer> {
+        let (name, entry) = wsq.engines().get(engine)?;
+        Ok(DsqExplorer {
+            pump: wsq.pump().clone(),
+            engine: name.to_string(),
+            supports_near: entry.supports_near,
+        })
+    }
+
+    fn quoted(term: &str) -> String {
+        if term.contains(char::is_whitespace) {
+            format!("\"{}\"", term.replace('"', ""))
+        } else {
+            term.to_string()
+        }
+    }
+
+    fn expr(&self, terms: &[&str]) -> String {
+        let sep = if self.supports_near { " near " } else { " " };
+        terms
+            .iter()
+            .map(|t| Self::quoted(t))
+            .collect::<Vec<_>>()
+            .join(sep)
+    }
+
+    /// Issue one count request per expression concurrently, returning the
+    /// counts in input order.
+    fn batch_counts(&self, exprs: &[String]) -> Result<Vec<u64>> {
+        let calls: Vec<CallId> = exprs
+            .iter()
+            .map(|expr| {
+                self.pump.register(SearchRequest {
+                    engine: self.engine.clone(),
+                    expr: expr.clone(),
+                    kind: RequestKind::Count,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let mut counts = Vec::with_capacity(calls.len());
+        for call in calls {
+            let result = self.pump.wait(call);
+            self.pump.release(call);
+            let count = result?.count().ok_or_else(|| {
+                WsqError::Search("count request returned pages".to_string())
+            })?;
+            counts.push(count);
+        }
+        Ok(counts)
+    }
+
+    /// The WSQ query equivalent to [`DsqExplorer::correlate`] — DSQ *is*
+    /// expressible as a Web-supported SQL query over the vocabulary table
+    /// (the two directions share one machinery; §1 of the paper).
+    pub fn suggest_sql(&self, phrase: &str, table: &str, column: &str) -> String {
+        format!(
+            "SELECT {column}, Count FROM {table}, WebCount_{engine} \
+             WHERE {column} = T1 AND T2 = '{phrase}' AND Count > 0 \
+             ORDER BY Count DESC, {column}",
+            engine = self.engine,
+            phrase = phrase.replace('\'', "''"),
+        )
+    }
+
+    /// Correlate `phrase` with each term, strongest first. Terms with zero
+    /// co-occurrence are dropped.
+    pub fn correlate(&self, phrase: &str, terms: &[String]) -> Result<Vec<Correlation>> {
+        let exprs: Vec<String> = terms
+            .iter()
+            .map(|t| self.expr(&[t.as_str(), phrase]))
+            .collect();
+        let counts = self.batch_counts(&exprs)?;
+        let mut out: Vec<Correlation> = terms
+            .iter()
+            .zip(counts)
+            .filter(|(_, c)| *c > 0)
+            .map(|(term, count)| Correlation {
+                term: term.clone(),
+                count,
+            })
+            .collect();
+        out.sort_by(|x, y| y.count.cmp(&x.count).then(x.term.cmp(&y.term)));
+        Ok(out)
+    }
+
+    /// Find term pairs (one from each vocabulary) jointly correlated with
+    /// `phrase`. To bound fan-out, only the `top_k` strongest singles from
+    /// each vocabulary are paired.
+    pub fn correlate_pairs(
+        &self,
+        phrase: &str,
+        vocab_a: &[String],
+        vocab_b: &[String],
+        top_k: usize,
+    ) -> Result<Vec<PairCorrelation>> {
+        let singles_a = self.correlate(phrase, vocab_a)?;
+        let singles_b = self.correlate(phrase, vocab_b)?;
+        let a: Vec<&str> = singles_a.iter().take(top_k).map(|c| c.term.as_str()).collect();
+        let b: Vec<&str> = singles_b.iter().take(top_k).map(|c| c.term.as_str()).collect();
+
+        let mut pairs = Vec::new();
+        let mut exprs = Vec::new();
+        for ta in &a {
+            for tb in &b {
+                pairs.push((ta.to_string(), tb.to_string()));
+                exprs.push(self.expr(&[ta, tb, phrase]));
+            }
+        }
+        let counts = self.batch_counts(&exprs)?;
+        let mut out: Vec<PairCorrelation> = pairs
+            .into_iter()
+            .zip(counts)
+            .filter(|(_, c)| *c > 0)
+            .map(|((a, b), count)| PairCorrelation { a, b, count })
+            .collect();
+        out.sort_by(|x, y| {
+            y.count
+                .cmp(&x.count)
+                .then(x.a.cmp(&y.a))
+                .then(x.b.cmp(&y.b))
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WsqConfig;
+
+    fn setup() -> (Wsq, DsqExplorer) {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        let dsq = DsqExplorer::new(&wsq, "AV").unwrap();
+        (wsq, dsq)
+    }
+
+    #[test]
+    fn scuba_diving_correlates_with_coastal_states() {
+        let (mut wsq, dsq) = setup();
+        let states = wsq.column_values("States", "Name").unwrap();
+        let corr = dsq.correlate("scuba diving", &states).unwrap();
+        assert!(!corr.is_empty());
+        assert_eq!(corr[0].term, "Florida");
+        let top: Vec<&str> = corr.iter().take(3).map(|c| c.term.as_str()).collect();
+        assert!(top.contains(&"Hawaii") || top.contains(&"California"), "{top:?}");
+        // Landlocked Wyoming should not lead the list.
+        assert!(corr.iter().all(|c| c.count > 0));
+        assert_eq!(wsq.pump().live_calls(), 0);
+    }
+
+    #[test]
+    fn scuba_diving_correlates_with_underwater_movies() {
+        let (mut wsq, dsq) = setup();
+        let movies = wsq.column_values("Movies", "Title").unwrap();
+        let corr = dsq.correlate("scuba diving", &movies).unwrap();
+        assert!(!corr.is_empty());
+        // The underwater thrillers lead (exact order among the top two is
+        // sampling noise on the small test corpus).
+        let top2: Vec<&str> = corr.iter().take(2).map(|c| c.term.as_str()).collect();
+        assert!(top2.contains(&"The Abyss"), "top2: {top2:?}");
+        let titles: Vec<&str> = corr.iter().map(|c| c.term.as_str()).collect();
+        assert!(titles.contains(&"Thunderball"));
+        assert!(!titles.contains(&"Fargo"), "Fargo is not a diving movie");
+    }
+
+    #[test]
+    fn triples_find_state_movie_combinations() {
+        let (mut wsq, dsq) = setup();
+        let states = wsq.column_values("States", "Name").unwrap();
+        let movies = wsq.column_values("Movies", "Title").unwrap();
+        let pairs = dsq
+            .correlate_pairs("scuba diving", &states, &movies, 3)
+            .unwrap();
+        assert!(!pairs.is_empty(), "no state/movie/scuba triples found");
+        for p in &pairs {
+            assert!(p.count > 0);
+        }
+        assert_eq!(wsq.pump().live_calls(), 0);
+    }
+
+    #[test]
+    fn suggest_sql_is_equivalent_to_correlate() {
+        let (mut wsq, dsq) = setup();
+        let sql = dsq.suggest_sql("scuba diving", "States", "Name");
+        let via_sql = wsq.query(&sql).unwrap();
+        let states = wsq.column_values("States", "Name").unwrap();
+        let via_api = dsq.correlate("scuba diving", &states).unwrap();
+        assert_eq!(via_sql.rows.len(), via_api.len());
+        for (row, corr) in via_sql.rows.iter().zip(&via_api) {
+            assert_eq!(row.get(0).as_str().unwrap(), corr.term);
+            assert_eq!(row.get(1).as_int().unwrap() as u64, corr.count);
+        }
+    }
+
+    #[test]
+    fn unknown_engine_rejected() {
+        let (wsq, _) = setup();
+        assert!(DsqExplorer::new(&wsq, "Bing").is_err());
+    }
+
+    #[test]
+    fn empty_vocabulary_is_fine() {
+        let (_, dsq) = setup();
+        assert_eq!(dsq.correlate("scuba diving", &[]).unwrap().len(), 0);
+    }
+}

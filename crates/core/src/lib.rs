@@ -1,0 +1,431 @@
+//! The WSQ/DSQ public facade.
+//!
+//! [`Wsq`] wires together every subsystem — the Redbase-style database, the
+//! simulated Web with its two engine personalities, the ReqPump, and the
+//! query engine — behind the interface a user of the paper's system would
+//! expect:
+//!
+//! ```
+//! use wsq_core::{Wsq, WsqConfig};
+//!
+//! let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+//! wsq.load_reference_data().unwrap();
+//! let result = wsq
+//!     .query("SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+//!             ORDER BY Count DESC, Name LIMIT 3")
+//!     .unwrap();
+//! assert_eq!(result.rows[0].get(0).as_str().unwrap(), "California");
+//! ```
+//!
+//! [`DsqExplorer`] implements the DSQ direction (database-supported Web
+//! queries): correlating a Web phrase with database vocabulary.
+
+pub mod dsq;
+
+pub use dsq::{Correlation, DsqExplorer, PairCorrelation};
+pub use wsq_engine::db::{QueryResult, StatementResult};
+pub use wsq_engine::plan::{BufferMode, ExecutionMode, PlacementStrategy};
+pub use wsq_engine::QueryOptions;
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use wsq_common::{Result, Tuple, Value, WsqError};
+use wsq_engine::db::Database;
+use wsq_engine::engines::EngineRegistry;
+use wsq_pump::{PumpConfig, ReqPump, SearchService};
+use wsq_websim::{CachedService, CorpusConfig, EngineKind, LatencyModel, SimWeb};
+
+/// Configuration for a [`Wsq`] instance.
+#[derive(Clone)]
+pub struct WsqConfig {
+    /// Synthetic Web parameters.
+    pub corpus: CorpusConfig,
+    /// Latency model applied to both simulated engines.
+    pub latency: LatencyModel,
+    /// ReqPump configuration (concurrency limits, dispatch mode).
+    pub pump: PumpConfig,
+    /// Default query execution options.
+    pub query: QueryOptions,
+    /// Wrap engines in a memoizing result cache (HN96).
+    pub cache: bool,
+}
+
+impl Default for WsqConfig {
+    fn default() -> Self {
+        WsqConfig {
+            corpus: CorpusConfig::default(),
+            latency: LatencyModel::Zero,
+            pump: PumpConfig::default(),
+            query: QueryOptions::default(),
+            cache: false,
+        }
+    }
+}
+
+impl WsqConfig {
+    /// Small corpus, zero latency: for tests and quick experimentation.
+    pub fn fast() -> Self {
+        WsqConfig {
+            corpus: CorpusConfig::small(),
+            ..Self::default()
+        }
+    }
+
+    /// Paper-like conditions: full corpus and noticeable per-request
+    /// latency (scaled down from 1999's ~1s so experiments finish).
+    pub fn paper_like() -> Self {
+        WsqConfig {
+            latency: LatencyModel::Jitter {
+                base: std::time::Duration::from_millis(25),
+                jitter: std::time::Duration::from_millis(10),
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// A complete WSQ/DSQ instance: database + engines + pump.
+pub struct Wsq {
+    db: Database,
+    engines: EngineRegistry,
+    pump: Arc<ReqPump>,
+    opts: QueryOptions,
+    web: SimWeb,
+    caches: HashMap<String, Arc<CachedService>>,
+}
+
+impl Wsq {
+    fn build(db: Database, config: WsqConfig) -> Result<Wsq> {
+        let web = SimWeb::build(config.corpus.clone());
+        let pump = ReqPump::new(config.pump.clone());
+        let mut wsq = Wsq {
+            db,
+            engines: EngineRegistry::new(),
+            pump,
+            opts: config.query,
+            web,
+            caches: HashMap::new(),
+        };
+        // The paper's two engines: AltaVista (NEAR) and Google (AND).
+        let av = wsq.web.engine_with_latency(EngineKind::AltaVista, config.latency);
+        let google = wsq.web.engine_with_latency(EngineKind::Google, config.latency);
+        wsq.register_engine_internal("AV", av, true, config.cache);
+        wsq.register_engine_internal("Google", google, false, config.cache);
+        Ok(wsq)
+    }
+
+    /// An in-memory instance.
+    pub fn open_in_memory(config: WsqConfig) -> Result<Wsq> {
+        Self::build(Database::open_in_memory()?, config)
+    }
+
+    /// A disk-backed instance rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>, config: WsqConfig) -> Result<Wsq> {
+        Self::build(Database::open(dir)?, config)
+    }
+
+    fn register_engine_internal(
+        &mut self,
+        name: &str,
+        service: Arc<dyn SearchService>,
+        supports_near: bool,
+        cache: bool,
+    ) {
+        let service: Arc<dyn SearchService> = if cache {
+            let cached = CachedService::new(service);
+            self.caches.insert(name.to_string(), cached.clone());
+            cached
+        } else {
+            service
+        };
+        self.pump.register_service(name, service.clone());
+        self.engines.register(name, service, supports_near);
+    }
+
+    /// Register an additional (or replacement) search engine. It becomes
+    /// addressable as `WebCount_<name>` / `WebPages_<name>`.
+    pub fn register_engine(
+        &mut self,
+        name: &str,
+        service: Arc<dyn SearchService>,
+        supports_near: bool,
+    ) {
+        self.register_engine_internal(name, service, supports_near, false);
+    }
+
+    /// Execute a `;`-separated SQL script.
+    pub fn execute(&mut self, sql: &str) -> Result<Vec<StatementResult>> {
+        let opts = self.opts;
+        self.db.run_sql(sql, &self.engines, &self.pump, opts)
+    }
+
+    /// Execute a single SELECT and return its rows.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        let mut results = self.execute(sql)?;
+        if results.len() != 1 {
+            return Err(WsqError::Plan(format!(
+                "expected one statement, got {}",
+                results.len()
+            )));
+        }
+        match results.remove(0) {
+            StatementResult::Rows(r) => Ok(r),
+            StatementResult::Affected(_) => {
+                Err(WsqError::Plan("statement did not produce rows".to_string()))
+            }
+        }
+    }
+
+    /// Execute a SELECT with explicit options (overriding the defaults).
+    pub fn query_with(&mut self, sql: &str, opts: QueryOptions) -> Result<QueryResult> {
+        let saved = self.opts;
+        self.opts = opts;
+        let r = self.query(sql);
+        self.opts = saved;
+        r
+    }
+
+    /// Open a streaming cursor over a SELECT (rows on demand; combine with
+    /// [`BufferMode::Streaming`] for early first rows).
+    pub fn query_cursor(&mut self, sql: &str) -> Result<wsq_engine::db::Cursor> {
+        match wsq_sql::parse_one(sql)? {
+            wsq_sql::Statement::Select(sel) => {
+                self.db.open_query(&sel, &self.engines, &self.pump, self.opts)
+            }
+            _ => Err(WsqError::Plan("cursor requires a SELECT".to_string())),
+        }
+    }
+
+    /// EXPLAIN ANALYZE: run a SELECT and return its rows plus a
+    /// per-operator runtime report.
+    pub fn analyze(&mut self, sql: &str) -> Result<(QueryResult, String)> {
+        match wsq_sql::parse_one(sql)? {
+            wsq_sql::Statement::Select(sel) => {
+                self.db
+                    .analyze_query(&sel, &self.engines, &self.pump, self.opts)
+            }
+            _ => Err(WsqError::Plan("ANALYZE requires a SELECT".to_string())),
+        }
+    }
+
+    /// EXPLAIN a SELECT under the current options.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        self.db.explain(sql, &self.engines, self.opts)
+    }
+
+    /// EXPLAIN under explicit options.
+    pub fn explain_with(&self, sql: &str, opts: QueryOptions) -> Result<String> {
+        self.db.explain(sql, &self.engines, opts)
+    }
+
+    /// Default query options (mutable).
+    pub fn options_mut(&mut self) -> &mut QueryOptions {
+        &mut self.opts
+    }
+
+    /// The request pump.
+    pub fn pump(&self) -> &Arc<ReqPump> {
+        &self.pump
+    }
+
+    /// The engine registry.
+    pub fn engines(&self) -> &EngineRegistry {
+        &self.engines
+    }
+
+    /// The simulated Web behind the default engines.
+    pub fn web(&self) -> &SimWeb {
+        &self.web
+    }
+
+    /// Direct database access.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Direct mutable database access.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Result-cache statistics per engine (empty unless `cache` was set).
+    pub fn cache_stats(&self) -> HashMap<String, wsq_websim::CacheStats> {
+        self.caches
+            .iter()
+            .map(|(k, v)| (k.clone(), v.stats()))
+            .collect()
+    }
+
+    /// Drop all cached search results (the paper's two-hour cooldown, in
+    /// one call).
+    pub fn clear_caches(&self) {
+        for c in self.caches.values() {
+            c.clear();
+        }
+    }
+
+    /// Distinct non-null string values of `table.column` (DSQ vocabulary
+    /// extraction).
+    pub fn column_values(&mut self, table: &str, column: &str) -> Result<Vec<String>> {
+        let r = self.query(&format!("SELECT DISTINCT {column} FROM {table}"))?;
+        Ok(r.rows
+            .iter()
+            .filter_map(|t| t.get(0).as_str().ok().map(str::to_string))
+            .collect())
+    }
+
+    /// Create and populate the paper's reference tables: `States(Name,
+    /// Population, Capital)`, `Sigs(Name)`, `CSFields(Name)`, and
+    /// `Movies(Title)`.
+    pub fn load_reference_data(&mut self) -> Result<()> {
+        use wsq_websim::data;
+        self.execute(
+            "CREATE TABLE States (Name VARCHAR(32), Population INT, Capital VARCHAR(32))",
+        )?;
+        let rows: Vec<Tuple> = data::STATES
+            .iter()
+            .map(|s| {
+                Tuple::new(vec![
+                    Value::from(s.name),
+                    Value::Int(s.population),
+                    Value::from(s.capital),
+                ])
+            })
+            .collect();
+        self.db.insert("States", &rows)?;
+
+        self.execute("CREATE TABLE Sigs (Name VARCHAR(16))")?;
+        let rows: Vec<Tuple> = data::SIGS
+            .iter()
+            .map(|(n, _)| Tuple::new(vec![Value::from(*n)]))
+            .collect();
+        self.db.insert("Sigs", &rows)?;
+
+        self.execute("CREATE TABLE CSFields (Name VARCHAR(32))")?;
+        let rows: Vec<Tuple> = data::CS_FIELDS
+            .iter()
+            .map(|(n, _)| Tuple::new(vec![Value::from(*n)]))
+            .collect();
+        self.db.insert("CSFields", &rows)?;
+
+        self.execute("CREATE TABLE Movies (Title VARCHAR(40))")?;
+        let rows: Vec<Tuple> = data::MOVIES
+            .iter()
+            .map(|(n, _)| Tuple::new(vec![Value::from(*n)]))
+            .collect();
+        self.db.insert("Movies", &rows)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_end_to_end() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        assert_eq!(wsq.db().row_count("States").unwrap(), 50);
+        assert_eq!(wsq.db().row_count("Sigs").unwrap(), 37);
+
+        let r = wsq
+            .query(
+                "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                 ORDER BY Count DESC, Name LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0].get(0).as_str().unwrap(), "California");
+        assert_eq!(r.rows[1].get(0).as_str().unwrap(), "Washington");
+
+        // EXPLAIN shows asynchronous operators by default.
+        let plan = wsq
+            .explain("SELECT Count FROM WebCount WHERE T1 = 'Texas'")
+            .unwrap();
+        assert!(plan.contains("AEVScan"));
+        assert!(plan.contains("ReqSync"));
+        assert_eq!(wsq.pump().live_calls(), 0);
+    }
+
+    #[test]
+    fn query_with_overrides_options_temporarily() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        let sync = QueryOptions {
+            mode: ExecutionMode::Synchronous,
+            ..Default::default()
+        };
+        let r = wsq
+            .query_with("SELECT Count FROM WebCount WHERE T1 = 'Texas'", sync)
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Default options restored.
+        let plan = wsq
+            .explain("SELECT Count FROM WebCount WHERE T1 = 'Texas'")
+            .unwrap();
+        assert!(plan.contains("AEVScan"));
+    }
+
+    #[test]
+    fn cache_dedupes_repeated_searches() {
+        let mut config = WsqConfig::fast();
+        config.cache = true;
+        let mut wsq = Wsq::open_in_memory(config).unwrap();
+        wsq.load_reference_data().unwrap();
+        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'").unwrap();
+        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'").unwrap();
+        let stats = wsq.cache_stats();
+        let av = stats.get("AV").unwrap();
+        assert_eq!(av.misses, 1);
+        assert_eq!(av.hits, 1);
+        wsq.clear_caches();
+        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'").unwrap();
+        assert_eq!(wsq.cache_stats().get("AV").unwrap().misses, 2);
+    }
+
+    #[test]
+    fn column_values_extracts_vocabulary() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        let movies = wsq.column_values("Movies", "Title").unwrap();
+        assert_eq!(movies.len(), 20);
+        assert!(movies.contains(&"Jaws".to_string()));
+    }
+
+    #[test]
+    fn analyze_reports_operator_stats() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        let (result, report) = wsq
+            .analyze(
+                "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                 ORDER BY Count DESC, Name LIMIT 5",
+            )
+            .unwrap();
+        assert_eq!(result.rows.len(), 5);
+        // The report mirrors the plan tree with counters.
+        assert!(report.contains("Limit: 5"), "{report}");
+        assert!(report.contains("ReqSync"), "{report}");
+        assert!(report.contains("Scan: States"), "{report}");
+        // The scan produced all 50 states; the limit only 5.
+        let scan_line = report.lines().find(|l| l.contains("Scan: States")).unwrap();
+        assert!(scan_line.contains("rows=50"), "{scan_line}");
+        let limit_line = report.lines().find(|l| l.contains("Limit: 5")).unwrap();
+        assert!(limit_line.contains("rows=5"), "{limit_line}");
+        // The AEVScan re-opened once per state.
+        let aev_line = report.lines().find(|l| l.contains("AEVScan")).unwrap();
+        assert!(aev_line.contains("opens=50"), "{aev_line}");
+        assert!(wsq.analyze("CREATE TABLE X (a INT)").is_err());
+        assert_eq!(wsq.pump().live_calls(), 0);
+    }
+
+    #[test]
+    fn reserved_names_cannot_be_created() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        let err = wsq
+            .execute("CREATE TABLE WebCount (x INT)")
+            .unwrap_err();
+        assert!(err.to_string().contains("reserved"));
+    }
+}

@@ -1,0 +1,954 @@
+//! The asynchronous-iteration plan transformation (paper §4.5):
+//! **ReqSync Insertion**, **Percolation**, and **Consolidation**.
+//!
+//! The implementation folds the three steps into one bottom-up pass. Each
+//! subtree is rewritten into a *core* plan plus a set of **pending** items
+//! that are still being pulled upward:
+//!
+//! * a pending `Sync` is a ReqSync whose insertion point is still rising
+//!   (percolation in progress);
+//! * a pending `Carried` is a clashing selection that was pulled up out of
+//!   the way (§4.5.2: "if O is a … selection, we can pull O above its
+//!   parent first"), including join predicates rewritten into selections
+//!   over cross-products.
+//!
+//! Pending items are *flushed* (materialized into the tree) at clash
+//! points: order/cardinality-sensitive operators (`Sort`, `Aggregate`,
+//! `Distinct`, `Limit` — case 3 of the clash rules, extended to ordering),
+//! projections that drop or compute over placeholder attributes (cases 1
+//! and 2), and dependent joins whose bindings read placeholder attributes
+//! (case 1). Flushing merges every pending `Sync` into a **single**
+//! ReqSync — which is exactly Consolidation.
+
+use crate::plan::{BufferMode, EvSpec, EvBinding, PhysPlan, PlacementStrategy};
+use wsq_sql::ast::{ColumnRef, Expr};
+
+/// Rewrite a synchronous plan into its asynchronous-iteration form.
+pub fn asyncify(plan: PhysPlan, strategy: PlacementStrategy, mode: BufferMode) -> PhysPlan {
+    let mut ctx = Ctx { strategy, mode };
+    let (core, pending) = ctx.lift(plan);
+    consolidate_adjacent(ctx.flush(core, pending))
+}
+
+/// Final Consolidation sweep: merge directly-adjacent ReqSync pairs
+/// (their attribute sets union — §4.5.3). The lift pass already
+/// consolidates at each flush point; this catches pairs formed when an
+/// input plan carried its own ReqSyncs (e.g. re-asyncification).
+fn consolidate_adjacent(plan: PhysPlan) -> PhysPlan {
+    use PhysPlan::*;
+    let map = |p: Box<PhysPlan>| Box::new(consolidate_adjacent(*p));
+    match plan {
+        ReqSync { input, attrs, mode } => {
+            let inner = consolidate_adjacent(*input);
+            if let ReqSync {
+                input: inner_input,
+                attrs: inner_attrs,
+                ..
+            } = inner
+            {
+                let mut merged = attrs;
+                for a in inner_attrs {
+                    if !merged.contains(&a) {
+                        merged.push(a);
+                    }
+                }
+                ReqSync {
+                    input: inner_input,
+                    attrs: merged,
+                    mode,
+                }
+            } else {
+                ReqSync {
+                    input: Box::new(inner),
+                    attrs,
+                    mode,
+                }
+            }
+        }
+        Filter { input, predicate } => Filter {
+            input: map(input),
+            predicate,
+        },
+        Project {
+            input,
+            items,
+            schema,
+        } => Project {
+            input: map(input),
+            items,
+            schema,
+        },
+        DependentJoin { left, right } => DependentJoin {
+            left: map(left),
+            right: map(right),
+        },
+        ParallelDependentJoin {
+            left,
+            spec,
+            threads,
+        } => ParallelDependentJoin {
+            left: map(left),
+            spec,
+            threads,
+        },
+        NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => NestedLoopJoin {
+            left: map(left),
+            right: map(right),
+            predicate,
+        },
+        CrossProduct { left, right } => CrossProduct {
+            left: map(left),
+            right: map(right),
+        },
+        Sort { input, keys } => Sort {
+            input: map(input),
+            keys,
+        },
+        Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Aggregate {
+            input: map(input),
+            group_by,
+            aggs,
+        },
+        Distinct { input } => Distinct { input: map(input) },
+        Limit { input, n } => Limit {
+            input: map(input),
+            n,
+        },
+        leaf => leaf,
+    }
+}
+
+/// An item still percolating upward.
+#[derive(Debug)]
+enum Pending {
+    /// A ReqSync for the given placeholder attributes.
+    Sync(Vec<ColumnRef>),
+    /// A clashing selection pulled above the rising ReqSyncs.
+    Carried(Expr),
+}
+
+struct Ctx {
+    strategy: PlacementStrategy,
+    mode: BufferMode,
+}
+
+/// Case-insensitive column-reference equality (SQL identifier semantics).
+fn same_ref(a: &ColumnRef, b: &ColumnRef) -> bool {
+    if !a.name.eq_ignore_ascii_case(&b.name) {
+        return false;
+    }
+    match (&a.qualifier, &b.qualifier) {
+        (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),
+        (None, None) => true,
+        // An unqualified reference may denote a qualified attribute.
+        _ => true,
+    }
+}
+
+/// Does `expr` reference any of `attrs`?
+fn refs_any(expr: &Expr, attrs: &[ColumnRef]) -> bool {
+    expr.columns()
+        .iter()
+        .any(|c| attrs.iter().any(|a| same_ref(c, a)))
+}
+
+/// All placeholder attributes across the pending set.
+fn pending_attrs(pending: &[Pending]) -> Vec<ColumnRef> {
+    pending
+        .iter()
+        .flat_map(|p| match p {
+            Pending::Sync(attrs) => attrs.clone(),
+            Pending::Carried(_) => vec![],
+        })
+        .collect()
+}
+
+impl Ctx {
+    /// Materialize all pending items above `core`: one consolidated
+    /// ReqSync, then the carried selections (in their original order).
+    fn flush(&self, core: PhysPlan, pending: Vec<Pending>) -> PhysPlan {
+        let mut attrs: Vec<ColumnRef> = Vec::new();
+        let mut filters: Vec<Expr> = Vec::new();
+        for p in pending {
+            match p {
+                Pending::Sync(a) => {
+                    for c in a {
+                        if !attrs.iter().any(|x| x == &c) {
+                            attrs.push(c);
+                        }
+                    }
+                }
+                Pending::Carried(e) => filters.push(e),
+            }
+        }
+        let mut plan = core;
+        if !attrs.is_empty() {
+            plan = PhysPlan::ReqSync {
+                input: Box::new(plan),
+                attrs,
+                mode: self.mode,
+            };
+        }
+        for predicate in filters {
+            plan = PhysPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+        plan
+    }
+
+    fn lift(&mut self, plan: PhysPlan) -> (PhysPlan, Vec<Pending>) {
+        match plan {
+            // Leaves.
+            p @ (PhysPlan::SeqScan { .. }
+            | PhysPlan::IndexScan { .. }
+            | PhysPlan::Values { .. }) => (p, vec![]),
+
+            // Insertion: every external scan becomes asynchronous, with a
+            // ReqSync born directly above it (here: as a pending item).
+            PhysPlan::EVScan(spec) | PhysPlan::AEVScan(spec) => {
+                let attrs = spec.external_attrs();
+                (PhysPlan::AEVScan(spec), vec![Pending::Sync(attrs)])
+            }
+
+            PhysPlan::Filter { input, predicate } => {
+                let (core, pending) = self.lift(*input);
+                if refs_any(&predicate, &pending_attrs(&pending)) {
+                    // Clash case 1: pull the selection above the rising
+                    // ReqSync instead of blocking it.
+                    let mut pending = pending;
+                    pending.push(Pending::Carried(predicate));
+                    (core, pending)
+                } else {
+                    (
+                        PhysPlan::Filter {
+                            input: Box::new(core),
+                            predicate,
+                        },
+                        pending,
+                    )
+                }
+            }
+
+            PhysPlan::DependentJoin { left, right } => {
+                let (l, mut pl) = self.lift(*left);
+                let (r, pr) = self.lift(*right);
+                // If the inner scan's bindings read placeholder attributes
+                // of the left side, those calls must resolve before the
+                // join can re-bind: flush the left pending set below.
+                let binding_cols = binding_columns(&r);
+                let attrs = pending_attrs(&pl);
+                let l = if binding_cols.iter().any(|c| {
+                    attrs.iter().any(|a| same_ref(c, a))
+                }) {
+                    let flushed = self.flush(l, std::mem::take(&mut pl));
+                    pl = vec![];
+                    flushed
+                } else {
+                    l
+                };
+                let mut pending = pl;
+                pending.extend(pr);
+                let join = PhysPlan::DependentJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                };
+                if self.strategy == PlacementStrategy::InsertionOnly {
+                    // Conservative placement: pin the ReqSync right above
+                    // this dependent join (Figure 7(b) style).
+                    (self.flush(join, pending), vec![])
+                } else {
+                    (join, pending)
+                }
+            }
+
+            PhysPlan::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                let (l, pl) = self.lift(*left);
+                let (r, pr) = self.lift(*right);
+                let mut pending = pl;
+                pending.extend(pr);
+                if refs_any(&predicate, &pending_attrs(&pending)) {
+                    // Clash: rewrite the join as a selection over a
+                    // cross-product and carry the selection upward
+                    // (§4.5.2, demonstrated in Figure 8).
+                    pending.push(Pending::Carried(predicate));
+                    (
+                        PhysPlan::CrossProduct {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                        },
+                        pending,
+                    )
+                } else {
+                    (
+                        PhysPlan::NestedLoopJoin {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                            predicate,
+                        },
+                        pending,
+                    )
+                }
+            }
+
+            PhysPlan::CrossProduct { left, right } => {
+                let (l, pl) = self.lift(*left);
+                let (r, pr) = self.lift(*right);
+                let mut pending = pl;
+                pending.extend(pr);
+                (
+                    PhysPlan::CrossProduct {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    },
+                    pending,
+                )
+            }
+
+            // A parallel dependent join performs and completes its calls
+            // internally (blocking threads): nothing percolates out of it.
+            PhysPlan::ParallelDependentJoin {
+                left,
+                spec,
+                threads,
+            } => {
+                let (l, pl) = self.lift(*left);
+                (
+                    PhysPlan::ParallelDependentJoin {
+                        left: Box::new(self.flush(l, pl)),
+                        spec,
+                        threads,
+                    },
+                    vec![],
+                )
+            }
+
+            PhysPlan::Project {
+                input,
+                items,
+                schema,
+            } => {
+                let (core, pending) = self.lift(*input);
+                if pending.is_empty() {
+                    return (
+                        PhysPlan::Project {
+                            input: Box::new(core),
+                            items,
+                            schema,
+                        },
+                        vec![],
+                    );
+                }
+                // The ReqSyncs may rise above the projection only if every
+                // placeholder attribute passes through untouched (as a
+                // plain column item) and no carried selections are in
+                // flight (their predicates reference pre-projection
+                // names). Otherwise flush below (clash cases 1 and 2).
+                let has_carried = pending.iter().any(|p| matches!(p, Pending::Carried(_)));
+                let attrs = pending_attrs(&pending);
+                let renames: Option<Vec<(ColumnRef, ColumnRef)>> = attrs
+                    .iter()
+                    .map(|a| {
+                        // Reject if any item computes over the attribute.
+                        let computed = items.iter().any(|(e, _)| {
+                            !matches!(e, Expr::Column(_)) && refs_any(e, std::slice::from_ref(a))
+                        });
+                        if computed {
+                            return None;
+                        }
+                        items
+                            .iter()
+                            .find(|(e, _)| {
+                                matches!(e, Expr::Column(c) if same_ref(c, a))
+                            })
+                            .map(|(_, name)| {
+                                (
+                                    a.clone(),
+                                    ColumnRef {
+                                        qualifier: None,
+                                        name: name.clone(),
+                                    },
+                                )
+                            })
+                    })
+                    .collect();
+                match renames {
+                    Some(renames) if !has_carried => {
+                        let renamed: Vec<Pending> = pending
+                            .into_iter()
+                            .map(|p| match p {
+                                Pending::Sync(attrs) => Pending::Sync(
+                                    attrs
+                                        .into_iter()
+                                        .map(|a| {
+                                            renames
+                                                .iter()
+                                                .find(|(from, _)| from == &a)
+                                                .map(|(_, to)| to.clone())
+                                                .unwrap_or(a)
+                                        })
+                                        .collect(),
+                                ),
+                                carried => carried,
+                            })
+                            .collect();
+                        (
+                            PhysPlan::Project {
+                                input: Box::new(core),
+                                items,
+                                schema,
+                            },
+                            renamed,
+                        )
+                    }
+                    _ => {
+                        let flushed = self.flush(core, pending);
+                        (
+                            PhysPlan::Project {
+                                input: Box::new(flushed),
+                                items,
+                                schema,
+                            },
+                            vec![],
+                        )
+                    }
+                }
+            }
+
+            // Order/cardinality-sensitive operators: clash case 3 (and its
+            // ordering analogue). Everything pending materializes below.
+            PhysPlan::Sort { input, keys } => {
+                let (core, pending) = self.lift(*input);
+                (
+                    PhysPlan::Sort {
+                        input: Box::new(self.flush(core, pending)),
+                        keys,
+                    },
+                    vec![],
+                )
+            }
+            PhysPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let (core, pending) = self.lift(*input);
+                (
+                    PhysPlan::Aggregate {
+                        input: Box::new(self.flush(core, pending)),
+                        group_by,
+                        aggs,
+                    },
+                    vec![],
+                )
+            }
+            PhysPlan::Distinct { input } => {
+                let (core, pending) = self.lift(*input);
+                (
+                    PhysPlan::Distinct {
+                        input: Box::new(self.flush(core, pending)),
+                    },
+                    vec![],
+                )
+            }
+            PhysPlan::Limit { input, n } => {
+                let (core, pending) = self.lift(*input);
+                (
+                    PhysPlan::Limit {
+                        input: Box::new(self.flush(core, pending)),
+                        n,
+                    },
+                    vec![],
+                )
+            }
+
+            // An existing ReqSync (re-asyncifying an async plan): keep it
+            // where it is, absorbing any rising Sync it already covers so
+            // the transformation is idempotent.
+            PhysPlan::ReqSync { input, attrs, mode } => {
+                let (core, pending) = self.lift(*input);
+                let (absorbed, remaining): (Vec<_>, Vec<_>) =
+                    pending.into_iter().partition(|p| match p {
+                        Pending::Sync(a) => a
+                            .iter()
+                            .all(|x| attrs.iter().any(|y| same_ref(x, y))),
+                        Pending::Carried(_) => false,
+                    });
+                drop(absorbed);
+                (
+                    PhysPlan::ReqSync {
+                        input: Box::new(self.flush(core, remaining)),
+                        attrs,
+                        mode,
+                    },
+                    vec![],
+                )
+            }
+        }
+    }
+}
+
+/// Rewrite every `DependentJoin` over a virtual scan into a
+/// [`PhysPlan::ParallelDependentJoin`] with the given thread cap — the
+/// parallel-DBMS-style execution the paper compares asynchronous
+/// iteration against.
+pub fn parallelize(plan: PhysPlan, threads: usize) -> PhysPlan {
+    use PhysPlan::*;
+    let map = |p: Box<PhysPlan>| Box::new(parallelize(*p, threads));
+    match plan {
+        DependentJoin { left, right } => {
+            let left = map(left);
+            match *right {
+                EVScan(spec) | AEVScan(spec) => ParallelDependentJoin {
+                    left,
+                    spec,
+                    threads,
+                },
+                other => DependentJoin {
+                    left,
+                    right: Box::new(parallelize(other, threads)),
+                },
+            }
+        }
+        ParallelDependentJoin {
+            left,
+            spec,
+            threads: t,
+        } => ParallelDependentJoin {
+            left: map(left),
+            spec,
+            threads: t,
+        },
+        Filter { input, predicate } => Filter {
+            input: map(input),
+            predicate,
+        },
+        Project {
+            input,
+            items,
+            schema,
+        } => Project {
+            input: map(input),
+            items,
+            schema,
+        },
+        NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => NestedLoopJoin {
+            left: map(left),
+            right: map(right),
+            predicate,
+        },
+        CrossProduct { left, right } => CrossProduct {
+            left: map(left),
+            right: map(right),
+        },
+        Sort { input, keys } => Sort {
+            input: map(input),
+            keys,
+        },
+        Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Aggregate {
+            input: map(input),
+            group_by,
+            aggs,
+        },
+        Distinct { input } => Distinct { input: map(input) },
+        Limit { input, n } => Limit {
+            input: map(input),
+            n,
+        },
+        ReqSync { input, attrs, mode } => ReqSync {
+            input: map(input),
+            attrs,
+            mode,
+        },
+        leaf => leaf,
+    }
+}
+
+/// The column bindings an inner virtual scan reads from its outer input.
+fn binding_columns(right: &PhysPlan) -> Vec<ColumnRef> {
+    fn find_spec(p: &PhysPlan) -> Option<&EvSpec> {
+        match p {
+            PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => Some(s),
+            PhysPlan::Filter { input, .. } | PhysPlan::ReqSync { input, .. } => find_spec(input),
+            _ => None,
+        }
+    }
+    match find_spec(right) {
+        Some(spec) => spec
+            .bindings
+            .iter()
+            .filter_map(|b| match b {
+                EvBinding::Column(c) => Some(c.clone()),
+                EvBinding::Const(_) => None,
+            })
+            .collect(),
+        None => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::VTableKind;
+    use wsq_common::{Column, DataType, Schema};
+    use wsq_sql::ast::BinOp;
+
+    fn scan(name: &str, cols: &[&str]) -> PhysPlan {
+        PhysPlan::SeqScan {
+            table: name.to_string(),
+            alias: name.to_string(),
+            schema: Schema::new(
+                cols.iter()
+                    .map(|c| Column::qualified(name, *c, DataType::Varchar))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn webcount(alias: &str, bind_col: (&str, &str)) -> PhysPlan {
+        PhysPlan::EVScan(EvSpec {
+            kind: VTableKind::WebCount,
+            engine: "AV".into(),
+            alias: alias.into(),
+            template: None,
+            bindings: vec![EvBinding::Column(ColumnRef {
+                qualifier: Some(bind_col.0.into()),
+                name: bind_col.1.into(),
+            })],
+            rank_limit: 19,
+            supports_near: true,
+        })
+    }
+
+    fn webpages(alias: &str, engine: &str, bind_col: (&str, &str)) -> PhysPlan {
+        PhysPlan::EVScan(EvSpec {
+            kind: VTableKind::WebPages,
+            engine: engine.into(),
+            alias: alias.into(),
+            template: None,
+            bindings: vec![EvBinding::Column(ColumnRef {
+                qualifier: Some(bind_col.0.into()),
+                name: bind_col.1.into(),
+            })],
+            rank_limit: 3,
+            supports_near: true,
+        })
+    }
+
+    fn dj(left: PhysPlan, right: PhysPlan) -> PhysPlan {
+        PhysPlan::DependentJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    fn count_kind(plan: &PhysPlan, want: &str) -> usize {
+        plan.count_nodes(&|p| match (p, want) {
+            (PhysPlan::ReqSync { .. }, "reqsync") => true,
+            (PhysPlan::AEVScan(_), "aevscan") => true,
+            (PhysPlan::EVScan(_), "evscan") => true,
+            (PhysPlan::CrossProduct { .. }, "cross") => true,
+            (PhysPlan::NestedLoopJoin { .. }, "nlj") => true,
+            _ => false,
+        })
+    }
+
+    /// Figure 3: Sort over Sigs ⋈ WebCount → ReqSync lands below the Sort.
+    #[test]
+    fn figure3_reqsync_below_sort() {
+        let plan = PhysPlan::Sort {
+            keys: vec![(Expr::qualified("WebCount", "Count"), true)],
+            input: Box::new(dj(scan("Sigs", &["Name"]), webcount("WebCount", ("Sigs", "Name")))),
+        };
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        assert_eq!(count_kind(&out, "aevscan"), 1);
+        assert_eq!(count_kind(&out, "evscan"), 0);
+        assert_eq!(count_kind(&out, "reqsync"), 1);
+        // Shape: Sort → ReqSync → DependentJoin.
+        match &out {
+            PhysPlan::Sort { input, .. } => match input.as_ref() {
+                PhysPlan::ReqSync { input, attrs, .. } => {
+                    assert_eq!(attrs.len(), 1);
+                    assert!(matches!(input.as_ref(), PhysPlan::DependentJoin { .. }));
+                }
+                other => panic!("expected ReqSync under Sort, got:\n{other}"),
+            },
+            other => panic!("expected Sort at root, got:\n{other}"),
+        }
+    }
+
+    /// Figures 5/6: two stacked dependent joins → ONE consolidated ReqSync
+    /// above both.
+    #[test]
+    fn figure6_consolidation() {
+        let plan = dj(
+            dj(scan("Sigs", &["Name"]), webpages("AV", "AV", ("Sigs", "Name"))),
+            webpages("G", "Google", ("Sigs", "Name")),
+        );
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        assert_eq!(count_kind(&out, "reqsync"), 1, "plan:\n{out}");
+        assert_eq!(count_kind(&out, "aevscan"), 2);
+        // The single ReqSync is the root and carries both attr sets.
+        match &out {
+            PhysPlan::ReqSync { attrs, .. } => {
+                assert_eq!(attrs.len(), 6); // URL/Rank/Date × 2 engines
+            }
+            other => panic!("expected consolidated ReqSync at root:\n{other}"),
+        }
+    }
+
+    /// InsertionOnly strategy (Figure 7(b) flavor): one ReqSync pinned
+    /// above each dependent join.
+    #[test]
+    fn insertion_only_pins_two_reqsyncs() {
+        let plan = dj(
+            dj(scan("Sigs", &["Name"]), webpages("AV", "AV", ("Sigs", "Name"))),
+            webpages("G", "Google", ("Sigs", "Name")),
+        );
+        let out = asyncify(plan, PlacementStrategy::InsertionOnly, BufferMode::Full);
+        assert_eq!(count_kind(&out, "reqsync"), 2, "plan:\n{out}");
+    }
+
+    /// Figure 8: a join whose predicate reads placeholder attributes is
+    /// rewritten into a selection over a cross-product, with the selection
+    /// re-attached above the consolidated ReqSync.
+    #[test]
+    fn figure8_join_becomes_select_over_cross_product() {
+        let join = PhysPlan::NestedLoopJoin {
+            left: Box::new(dj(
+                scan("Sigs", &["Name"]),
+                webpages("S", "AV", ("Sigs", "Name")),
+            )),
+            right: Box::new(dj(
+                scan("CSFields", &["Name"]),
+                webpages("C", "AV", ("CSFields", "Name")),
+            )),
+            predicate: Expr::binary(
+                BinOp::Eq,
+                Expr::qualified("S", "URL"),
+                Expr::qualified("C", "URL"),
+            ),
+        };
+        let out = asyncify(join, PlacementStrategy::Full, BufferMode::Full);
+        assert_eq!(count_kind(&out, "nlj"), 0);
+        assert_eq!(count_kind(&out, "cross"), 1);
+        assert_eq!(count_kind(&out, "reqsync"), 1);
+        // Select → ReqSync → CrossProduct.
+        match &out {
+            PhysPlan::Filter { input, predicate } => {
+                assert_eq!(predicate.to_string(), "(S.URL = C.URL)");
+                assert!(matches!(input.as_ref(), PhysPlan::ReqSync { .. }));
+            }
+            other => panic!("expected Select at root:\n{other}"),
+        }
+    }
+
+    /// A filter on non-placeholder columns stays put (below the ReqSync).
+    #[test]
+    fn independent_filter_not_carried() {
+        let plan = PhysPlan::Filter {
+            predicate: Expr::binary(
+                BinOp::Eq,
+                Expr::qualified("Sigs", "Name"),
+                Expr::Literal(wsq_sql::ast::Literal::Str("SIGMOD".into())),
+            ),
+            input: Box::new(dj(
+                scan("Sigs", &["Name"]),
+                webcount("WebCount", ("Sigs", "Name")),
+            )),
+        };
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        match &out {
+            PhysPlan::ReqSync { input, .. } => {
+                assert!(matches!(input.as_ref(), PhysPlan::Filter { .. }));
+            }
+            other => panic!("expected ReqSync above the independent filter:\n{other}"),
+        }
+    }
+
+    /// A filter on placeholder attributes is carried above the ReqSync.
+    #[test]
+    fn dependent_filter_carried_above() {
+        let plan = PhysPlan::Filter {
+            predicate: Expr::binary(
+                BinOp::Gt,
+                Expr::qualified("WebCount", "Count"),
+                Expr::Literal(wsq_sql::ast::Literal::Int(100)),
+            ),
+            input: Box::new(dj(
+                scan("Sigs", &["Name"]),
+                webcount("WebCount", ("Sigs", "Name")),
+            )),
+        };
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        match &out {
+            PhysPlan::Filter { input, .. } => {
+                assert!(matches!(input.as_ref(), PhysPlan::ReqSync { .. }));
+            }
+            other => panic!("expected carried Select at root:\n{other}"),
+        }
+    }
+
+    /// Bindings that read another scan's placeholder attributes force the
+    /// upstream ReqSync to resolve first (it flushes below the join).
+    #[test]
+    fn binding_on_placeholder_blocks_percolation() {
+        // WebPages S feeds its URL into WebCount's T1.
+        let inner = PhysPlan::EVScan(EvSpec {
+            kind: VTableKind::WebCount,
+            engine: "AV".into(),
+            alias: "WC".into(),
+            template: None,
+            bindings: vec![EvBinding::Column(ColumnRef {
+                qualifier: Some("S".into()),
+                name: "URL".into(),
+            })],
+            rank_limit: 19,
+            supports_near: true,
+        });
+        let plan = dj(
+            dj(scan("Sigs", &["Name"]), webpages("S", "AV", ("Sigs", "Name"))),
+            inner,
+        );
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        assert_eq!(count_kind(&out, "reqsync"), 2, "plan:\n{out}");
+        // The outer (root) ReqSync covers only the WebCount attrs.
+        match &out {
+            PhysPlan::ReqSync { attrs, input, .. } => {
+                assert_eq!(attrs.len(), 1);
+                assert_eq!(attrs[0].to_string(), "WC.Count");
+                // Inside, the WebPages ReqSync sits below the outer join.
+                assert!(matches!(input.as_ref(), PhysPlan::DependentJoin { .. }));
+            }
+            other => panic!("unexpected root:\n{other}"),
+        }
+    }
+
+    /// Aggregation clashes (case 3): the ReqSync flushes below it.
+    #[test]
+    fn aggregate_blocks_percolation() {
+        let plan = PhysPlan::Aggregate {
+            input: Box::new(dj(
+                scan("Sigs", &["Name"]),
+                webcount("WebCount", ("Sigs", "Name")),
+            )),
+            group_by: vec![],
+            aggs: vec![(wsq_sql::ast::AggFunc::Count, None, "n".into())],
+        };
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        match &out {
+            PhysPlan::Aggregate { input, .. } => {
+                assert!(matches!(input.as_ref(), PhysPlan::ReqSync { .. }));
+            }
+            other => panic!("expected Aggregate at root:\n{other}"),
+        }
+    }
+
+    /// A projection passing attributes through as plain columns lets the
+    /// ReqSync rise above it, with attribute names rewritten.
+    #[test]
+    fn projection_passthrough_renames_attrs() {
+        let input = dj(scan("Sigs", &["Name"]), webcount("WebCount", ("Sigs", "Name")));
+        let schema = Schema::new(vec![
+            Column::new("Name", DataType::Varchar),
+            Column::new("Cnt", DataType::Int),
+        ]);
+        let plan = PhysPlan::Project {
+            input: Box::new(input),
+            items: vec![
+                (Expr::qualified("Sigs", "Name"), "Name".into()),
+                (Expr::qualified("WebCount", "Count"), "Cnt".into()),
+            ],
+            schema,
+        };
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        match &out {
+            PhysPlan::ReqSync { attrs, input, .. } => {
+                assert_eq!(attrs[0].to_string(), "Cnt");
+                assert!(matches!(input.as_ref(), PhysPlan::Project { .. }));
+            }
+            other => panic!("expected ReqSync above Project:\n{other}"),
+        }
+    }
+
+    /// A projection computing over an attribute (Count/Population) blocks
+    /// the ReqSync below it (clash case 1).
+    #[test]
+    fn projection_computation_blocks() {
+        let input = dj(
+            scan("States", &["Name", "Population"]),
+            webcount("WebCount", ("States", "Name")),
+        );
+        let schema = Schema::new(vec![Column::new("C", DataType::Int)]);
+        let plan = PhysPlan::Project {
+            input: Box::new(input),
+            items: vec![(
+                Expr::binary(
+                    BinOp::Div,
+                    Expr::qualified("WebCount", "Count"),
+                    Expr::qualified("States", "Population"),
+                ),
+                "C".into(),
+            )],
+            schema,
+        };
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        match &out {
+            PhysPlan::Project { input, .. } => {
+                assert!(matches!(input.as_ref(), PhysPlan::ReqSync { .. }));
+            }
+            other => panic!("expected Project at root:\n{other}"),
+        }
+    }
+
+    /// No virtual tables → asyncify is the identity.
+    #[test]
+    fn pure_local_plan_unchanged() {
+        let plan = PhysPlan::Filter {
+            predicate: Expr::binary(
+                BinOp::Eq,
+                Expr::qualified("A", "x"),
+                Expr::qualified("B", "x"),
+            ),
+            input: Box::new(PhysPlan::CrossProduct {
+                left: Box::new(scan("A", &["x"])),
+                right: Box::new(scan("B", &["x"])),
+            }),
+        };
+        let out = asyncify(plan.clone(), PlacementStrategy::Full, BufferMode::Full);
+        assert_eq!(out, plan);
+    }
+
+    /// Asyncify is idempotent on already-asynchronous plans.
+    #[test]
+    fn idempotent() {
+        let plan = PhysPlan::Sort {
+            keys: vec![(Expr::qualified("WebCount", "Count"), true)],
+            input: Box::new(dj(scan("Sigs", &["Name"]), webcount("WebCount", ("Sigs", "Name")))),
+        };
+        let once = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        let twice = asyncify(once.clone(), PlacementStrategy::Full, BufferMode::Full);
+        assert_eq!(once, twice);
+    }
+}

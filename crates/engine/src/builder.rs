@@ -1,0 +1,1122 @@
+//! Query planning: AST → synchronous physical plan.
+//!
+//! Join order follows the `FROM` clause (Redbase has no join-order
+//! optimizer; the paper's prototype relies on user-specified order, §5).
+//! Virtual tables are recognized by name (`WebCount[_E]` / `WebPages[_E]`)
+//! and undergo **binding analysis** (§3): every `Ti` referenced anywhere in
+//! the query must be bound in the `WHERE` clause to a constant or — via
+//! equi-join — to a column of a table *earlier* in the `FROM` clause; the
+//! binding conjuncts are consumed into the scan's [`EvSpec`] and satisfied
+//! by a dependent join.
+
+use crate::catalog::Catalog;
+use crate::engines::EngineRegistry;
+use crate::plan::{EvBinding, EvSpec, PhysPlan, VTableKind};
+use wsq_common::{Result, Schema, WsqError};
+use wsq_sql::ast::{
+    AggFunc, BinOp, ColumnRef, Expr, Literal, SelectItem, SelectStmt,
+};
+
+/// The paper's default guard against runaway `WebPages` scans: `Rank < 20`
+/// means ranks 1..=19.
+pub const DEFAULT_RANK_LIMIT: u32 = 19;
+
+/// Is `name` a virtual-table reference? Returns the kind and the engine
+/// suffix (`None` = default engine).
+pub fn parse_virtual_name(name: &str) -> Option<(VTableKind, Option<&str>)> {
+    let lower = name.to_ascii_lowercase();
+    for (prefix, kind) in [
+        ("webcount", VTableKind::WebCount),
+        ("webpages", VTableKind::WebPages),
+    ] {
+        if lower == prefix {
+            return Some((kind, None));
+        }
+        if lower.starts_with(prefix) && name.len() > prefix.len() {
+            let rest = &name[prefix.len()..];
+            if let Some(suffix) = rest.strip_prefix('_') {
+                if !suffix.is_empty() {
+                    return Some((kind, Some(suffix)));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One WHERE conjunct with a consumed flag.
+struct Conjunct {
+    expr: Expr,
+    used: bool,
+}
+
+/// Plan a SELECT into a synchronous physical plan.
+pub fn plan_select(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    engines: &EngineRegistry,
+) -> Result<PhysPlan> {
+    plan_select_depth(stmt, catalog, engines, 0)
+}
+
+/// Maximum view-expansion nesting (guards against definition cycles).
+const MAX_VIEW_DEPTH: usize = 16;
+
+fn plan_select_depth(
+    stmt: &SelectStmt,
+    catalog: &Catalog,
+    engines: &EngineRegistry,
+    depth: usize,
+) -> Result<PhysPlan> {
+    if depth > MAX_VIEW_DEPTH {
+        return Err(WsqError::Plan(
+            "view nesting exceeds the maximum depth (cyclic definition?)".to_string(),
+        ));
+    }
+    if stmt.from.is_empty() {
+        return Err(WsqError::Plan("FROM clause is required".to_string()));
+    }
+
+    // Duplicate binding names are ambiguous.
+    {
+        let mut seen = std::collections::HashSet::new();
+        for t in &stmt.from {
+            if !seen.insert(t.binding_name().to_ascii_lowercase()) {
+                return Err(WsqError::Plan(format!(
+                    "duplicate table name/alias '{}' in FROM",
+                    t.binding_name()
+                )));
+            }
+        }
+    }
+
+    let mut conjuncts: Vec<Conjunct> = stmt
+        .where_clause
+        .clone()
+        .map(|e| e.split_conjuncts())
+        .unwrap_or_default()
+        .into_iter()
+        .map(|expr| Conjunct { expr, used: false })
+        .collect();
+
+    // Which FROM entries are virtual? (Needed to attribute unqualified
+    // `Ti` references when only one virtual table is present.)
+    let virtuals: Vec<usize> = stmt
+        .from
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| parse_virtual_name(&t.table).is_some())
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut plan: Option<PhysPlan> = None;
+    let mut running = Schema::empty();
+
+    for (idx, tref) in stmt.from.iter().enumerate() {
+        let alias = tref.binding_name().to_string();
+        match parse_virtual_name(&tref.table) {
+            None if catalog.view_definition(&tref.table).is_some() => {
+                // A view: expand its definition as a subplan, re-qualified
+                // under the binding alias (WebCount itself is "an
+                // aggregate view over WebPages", paper §1 — stored views
+                // get the same treatment).
+                let definition = catalog
+                    .view_definition(&tref.table)
+                    .expect("checked above")
+                    .to_string();
+                let view_stmt = match wsq_sql::parse_one(&definition)? {
+                    wsq_sql::Statement::Select(s) => s,
+                    _ => {
+                        return Err(WsqError::Plan(format!(
+                            "view '{}' definition is not a SELECT",
+                            tref.table
+                        )))
+                    }
+                };
+                let sub = plan_select_depth(&view_stmt, catalog, engines, depth + 1)?;
+                let sub_schema = sub.schema();
+                let mut items = Vec::with_capacity(sub_schema.len());
+                let mut cols = Vec::with_capacity(sub_schema.len());
+                for (_, c) in sub_schema.iter() {
+                    items.push((
+                        Expr::Column(ColumnRef {
+                            qualifier: c.qualifier.clone(),
+                            name: c.name.clone(),
+                        }),
+                        c.name.clone(),
+                    ));
+                    cols.push(wsq_common::Column::qualified(&alias, &c.name, c.dtype));
+                }
+                let schema = Schema::new(cols);
+                let mut node = PhysPlan::Project {
+                    input: Box::new(sub),
+                    items,
+                    schema: schema.clone(),
+                };
+                node = attach_filters(node, &mut conjuncts, &schema)?;
+                plan = Some(match plan.take() {
+                    None => node,
+                    Some(left) => {
+                        let combined = running.join(&schema);
+                        join_with_predicates(left, node, &combined, &mut conjuncts)?
+                    }
+                });
+                running = plan.as_ref().expect("just set").schema();
+            }
+            None => {
+                // Stored table. Prefer a B+-tree lookup when an equality
+                // conjunct hits an indexed column (Redbase's access-path
+                // choice: index over file scan for equality selections).
+                let stored = catalog.table_schema(&tref.table)?;
+                let schema = stored.with_qualifier(&alias);
+                let mut node = match pick_index_access(
+                    catalog,
+                    &tref.table,
+                    &alias,
+                    &schema,
+                    &mut conjuncts,
+                ) {
+                    Some(scan) => scan,
+                    None => PhysPlan::SeqScan {
+                        table: tref.table.clone(),
+                        alias: alias.clone(),
+                        schema: schema.clone(),
+                    },
+                };
+                // Push down single-table predicates.
+                node = attach_filters(node, &mut conjuncts, &schema)?;
+                plan = Some(match plan.take() {
+                    None => node,
+                    Some(left) => {
+                        let combined = running.join(&schema);
+                        join_with_predicates(left, node, &combined, &mut conjuncts)?
+                    }
+                });
+                running = plan.as_ref().expect("just set").schema();
+            }
+            Some((kind, engine_suffix)) => {
+                let engine_name = match engine_suffix {
+                    Some(s) => engines.get(s)?.0.to_string(),
+                    None => engines.default_name()?.to_string(),
+                };
+                let (_, entry) = engines.get(&engine_name)?;
+                let supports_near = entry.supports_near;
+                let only_virtual = virtuals.len() == 1 && virtuals[0] == idx;
+
+                let spec = analyze_virtual(
+                    stmt,
+                    &mut conjuncts,
+                    kind,
+                    engine_name,
+                    &alias,
+                    supports_near,
+                    only_virtual,
+                    &running,
+                )?;
+                let right = PhysPlan::EVScan(spec);
+                let left = match plan.take() {
+                    Some(p) => p,
+                    // Standalone virtual table: drive the dependent join
+                    // with one empty tuple.
+                    None => PhysPlan::Values {
+                        schema: Schema::empty(),
+                        rows: vec![vec![]],
+                    },
+                };
+                let mut node = PhysPlan::DependentJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+                running = node.schema();
+                // Attach now-resolvable predicates (e.g. on Count/URL).
+                node = attach_filters(node, &mut conjuncts, &running)?;
+                plan = Some(node);
+            }
+        }
+    }
+
+    let mut plan = plan.expect("FROM checked non-empty");
+    running = plan.schema();
+
+    // Any leftover conjunct must now resolve, or the query is erroneous.
+    for c in conjuncts.iter_mut().filter(|c| !c.used) {
+        for col in c.expr.columns() {
+            running.resolve(col.qualifier.as_deref(), &col.name)?;
+        }
+        c.used = true;
+        plan = PhysPlan::Filter {
+            input: Box::new(plan),
+            predicate: c.expr.clone(),
+        };
+    }
+
+    // Projection / aggregation.
+    let has_agg = !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || stmt.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            SelectItem::Star => false,
+        });
+
+    let items = expand_items(&stmt.items, &running, has_agg)?;
+
+    if has_agg {
+        plan = plan_aggregation(plan, stmt, &items)?;
+        if stmt.distinct {
+            plan = PhysPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        // ORDER BY over aggregates: keys must reference the projected
+        // outputs (by alias/name/ordinal or syntactic equality).
+        if !stmt.order_by.is_empty() {
+            let out_schema = plan.schema();
+            let keys = stmt
+                .order_by
+                .iter()
+                .map(|o| Ok((rewrite_order_key(&o.expr, &items, &out_schema)?, o.desc)))
+                .collect::<Result<Vec<_>>>()?;
+            plan = PhysPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+    } else {
+        // Non-aggregate queries sort BELOW the projection, so keys may
+        // reference any input column (`SELECT Name … ORDER BY Population`).
+        // Aliases and ordinals are first rewritten to the select item's
+        // expression. Distinct and Project both preserve encounter order,
+        // so the sort survives them.
+        if !stmt.order_by.is_empty() {
+            let keys = stmt
+                .order_by
+                .iter()
+                .map(|o| {
+                    let expr = dealias_order_key(&o.expr, &items)?;
+                    // Validate against the input schema now for a clear
+                    // error message.
+                    for col in expr.columns() {
+                        running.resolve(col.qualifier.as_deref(), &col.name)?;
+                    }
+                    Ok((expr, o.desc))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            plan = PhysPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+        let schema = project_schema(&items, &running);
+        plan = PhysPlan::Project {
+            input: Box::new(plan),
+            items: items.clone(),
+            schema,
+        };
+        if stmt.distinct {
+            plan = PhysPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+    }
+
+    if let Some(n) = stmt.limit {
+        plan = PhysPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+
+    Ok(plan)
+}
+
+/// Choose an index access path: the first unused `col = literal` conjunct
+/// over an indexed column of this table turns the scan into an
+/// [`PhysPlan::IndexScan`] (consuming the conjunct).
+fn pick_index_access(
+    catalog: &Catalog,
+    table: &str,
+    alias: &str,
+    schema: &Schema,
+    conjuncts: &mut [Conjunct],
+) -> Option<PhysPlan> {
+    for c in conjuncts.iter_mut().filter(|c| !c.used) {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = &c.expr
+        else {
+            continue;
+        };
+        for (col_side, lit_side) in [(lhs, rhs), (rhs, lhs)] {
+            let (Expr::Column(col), Expr::Literal(lit)) =
+                (col_side.as_ref(), lit_side.as_ref())
+            else {
+                continue;
+            };
+            if schema
+                .try_resolve(col.qualifier.as_deref(), &col.name)
+                .is_none()
+            {
+                continue;
+            }
+            if !catalog.has_index(table, &col.name) {
+                continue;
+            }
+            c.used = true;
+            return Some(PhysPlan::IndexScan {
+                table: table.to_string(),
+                alias: alias.to_string(),
+                column: col.name.clone(),
+                key: crate::expr::literal_value(lit),
+                schema: schema.clone(),
+            });
+        }
+    }
+    None
+}
+
+/// Attach every unused conjunct fully resolvable against `schema`.
+fn attach_filters(
+    mut node: PhysPlan,
+    conjuncts: &mut [Conjunct],
+    schema: &Schema,
+) -> Result<PhysPlan> {
+    for c in conjuncts.iter_mut().filter(|c| !c.used) {
+        let all_resolve = c
+            .expr
+            .columns()
+            .iter()
+            .all(|col| schema.try_resolve(col.qualifier.as_deref(), &col.name).is_some());
+        if all_resolve && !c.expr.contains_aggregate() {
+            c.used = true;
+            node = PhysPlan::Filter {
+                input: Box::new(node),
+                predicate: c.expr.clone(),
+            };
+        }
+    }
+    Ok(node)
+}
+
+/// Join two subtrees, turning newly-resolvable conjuncts into the join
+/// predicate (none → cross product).
+fn join_with_predicates(
+    left: PhysPlan,
+    right: PhysPlan,
+    combined: &Schema,
+    conjuncts: &mut [Conjunct],
+) -> Result<PhysPlan> {
+    let mut preds = Vec::new();
+    for c in conjuncts.iter_mut().filter(|c| !c.used) {
+        let all_resolve = c
+            .expr
+            .columns()
+            .iter()
+            .all(|col| combined.try_resolve(col.qualifier.as_deref(), &col.name).is_some());
+        if all_resolve && !c.expr.contains_aggregate() {
+            c.used = true;
+            preds.push(c.expr.clone());
+        }
+    }
+    Ok(match Expr::join_conjuncts(preds) {
+        Some(predicate) => PhysPlan::NestedLoopJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            predicate,
+        },
+        None => PhysPlan::CrossProduct {
+            left: Box::new(left),
+            right: Box::new(right),
+        },
+    })
+}
+
+/// Does a column reference denote `alias.Ti` (or unqualified `Ti` when
+/// this is the only virtual table)? Returns the 1-based index.
+fn t_index(col: &ColumnRef, alias: &str, only_virtual: bool) -> Option<usize> {
+    let name = col.name.as_str();
+    let rest = name.strip_prefix(['T', 't'])?;
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let idx: usize = rest.parse().ok()?;
+    if idx == 0 {
+        return None;
+    }
+    match &col.qualifier {
+        Some(q) if q.eq_ignore_ascii_case(alias) => Some(idx),
+        Some(_) => None,
+        None if only_virtual => Some(idx),
+        None => None,
+    }
+}
+
+/// Does a column reference denote `alias.<field>`?
+fn is_vcol(col: &ColumnRef, alias: &str, field: &str, only_virtual: bool) -> bool {
+    if !col.name.eq_ignore_ascii_case(field) {
+        return false;
+    }
+    match &col.qualifier {
+        Some(q) => q.eq_ignore_ascii_case(alias),
+        None => only_virtual,
+    }
+}
+
+/// Binding analysis for one virtual table reference (§3).
+#[allow(clippy::too_many_arguments)]
+fn analyze_virtual(
+    stmt: &SelectStmt,
+    conjuncts: &mut [Conjunct],
+    kind: VTableKind,
+    engine: String,
+    alias: &str,
+    supports_near: bool,
+    only_virtual: bool,
+    left_schema: &Schema,
+) -> Result<EvSpec> {
+    // 1. How many T columns does this query use? (The virtual table is an
+    //    "infinite family" — the column count is query-dependent, §3.)
+    let mut n = 0usize;
+    let mut visit = |e: &Expr| {
+        for col in e.columns() {
+            if let Some(i) = t_index(col, alias, only_virtual) {
+                n = n.max(i);
+            }
+        }
+    };
+    for item in &stmt.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            visit(expr);
+        }
+    }
+    if let Some(w) = &stmt.where_clause {
+        visit(w);
+    }
+    for o in &stmt.order_by {
+        visit(&o.expr);
+    }
+
+    // 2. Bind each Ti from an equality conjunct.
+    let mut bindings: Vec<Option<EvBinding>> = vec![None; n];
+    let mut template: Option<String> = None;
+    let mut rank_limit: Option<u32> = None;
+
+    for c in conjuncts.iter_mut().filter(|c| !c.used) {
+        let Expr::Binary { op, lhs, rhs } = &c.expr else {
+            continue;
+        };
+        // Normalize so the virtual column is on the left.
+        let sides = [(lhs.as_ref(), rhs.as_ref(), *op), (rhs.as_ref(), lhs.as_ref(), flip(*op))];
+        for (vside, other, op) in sides {
+            let Expr::Column(vcol) = vside else { continue };
+
+            // Ti = <const | earlier column>
+            if op == BinOp::Eq {
+                if let Some(i) = t_index(vcol, alias, only_virtual) {
+                    let binding = match other {
+                        Expr::Literal(lit) => {
+                            Some(EvBinding::Const(crate::expr::literal_value(lit)))
+                        }
+                        Expr::Column(c2) => {
+                            if t_index(c2, alias, only_virtual).is_some() {
+                                None // Ti = Tj is not a binding
+                            } else {
+                                left_schema
+                                    .try_resolve(c2.qualifier.as_deref(), &c2.name)
+                                    .map(|_| EvBinding::Column(c2.clone()))
+                            }
+                        }
+                        _ => None,
+                    };
+                    if let Some(b) = binding {
+                        if bindings[i - 1].is_none() {
+                            bindings[i - 1] = Some(b);
+                            c.used = true;
+                            break;
+                        }
+                    }
+                }
+                // SearchExp = 'literal'
+                if is_vcol(vcol, alias, "SearchExp", only_virtual) {
+                    if let Expr::Literal(Literal::Str(s)) = other {
+                        template = Some(s.clone());
+                        c.used = true;
+                        break;
+                    }
+                }
+            }
+
+            // Rank <= k / Rank < k → engine-side rank bound.
+            if kind == VTableKind::WebPages
+                && is_vcol(vcol, alias, "Rank", only_virtual)
+                && matches!(op, BinOp::LtEq | BinOp::Lt)
+            {
+                if let Expr::Literal(Literal::Int(k)) = other {
+                    let bound = match op {
+                        BinOp::LtEq => *k,
+                        _ => *k - 1,
+                    };
+                    if bound >= 0 {
+                        let bound = bound as u32;
+                        rank_limit =
+                            Some(rank_limit.map_or(bound, |cur| cur.min(bound)));
+                        c.used = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Every referenced Ti must be bound (the columns are engine inputs).
+    let bindings: Vec<EvBinding> = bindings
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| {
+            b.ok_or_else(|| {
+                WsqError::Plan(format!(
+                    "virtual table '{alias}': T{} is not bound to a constant or an \
+                     earlier table's column",
+                    i + 1
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    if bindings.is_empty() && template.is_none() {
+        return Err(WsqError::Plan(format!(
+            "virtual table '{alias}': no search terms bound (reference T1 or bind \
+             SearchExp)"
+        )));
+    }
+
+    Ok(EvSpec {
+        kind,
+        engine,
+        alias: alias.to_string(),
+        template,
+        bindings,
+        rank_limit: rank_limit.unwrap_or(DEFAULT_RANK_LIMIT),
+        supports_near,
+    })
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// Expand `*` and name every select item. Column references are validated
+/// against `schema` here so planning (not just execution) rejects unknown
+/// columns — view definitions rely on this.
+fn expand_items(
+    items: &[SelectItem],
+    schema: &Schema,
+    has_agg: bool,
+) -> Result<Vec<(Expr, String)>> {
+    let mut out = Vec::new();
+    for item in items {
+        if let SelectItem::Expr { expr, .. } = item {
+            for col in expr.columns() {
+                schema.resolve(col.qualifier.as_deref(), &col.name)?;
+            }
+        }
+        match item {
+            SelectItem::Star => {
+                if has_agg {
+                    return Err(WsqError::Plan(
+                        "SELECT * cannot be combined with aggregation".to_string(),
+                    ));
+                }
+                for (_, col) in schema.iter() {
+                    out.push((
+                        Expr::Column(ColumnRef {
+                            qualifier: col.qualifier.clone(),
+                            name: col.name.clone(),
+                        }),
+                        col.name.clone(),
+                    ));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.clone(),
+                    None => match expr {
+                        Expr::Column(c) => c.name.clone(),
+                        other => other.to_string(),
+                    },
+                };
+                out.push((expr.clone(), name));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Output schema of a projection.
+fn project_schema(items: &[(Expr, String)], input: &Schema) -> Schema {
+    Schema::new(
+        items
+            .iter()
+            .map(|(e, name)| {
+                let dt = crate::expr::infer_type(e, input)
+                    .unwrap_or(wsq_common::DataType::Varchar);
+                wsq_common::Column::new(name.clone(), dt)
+            })
+            .collect(),
+    )
+}
+
+/// Plan GROUP BY / aggregate queries: Aggregate computes raw aggregates
+/// under synthetic names, a Project above computes the final expressions.
+fn plan_aggregation(
+    input: PhysPlan,
+    stmt: &SelectStmt,
+    items: &[(Expr, String)],
+) -> Result<PhysPlan> {
+    let in_schema = input.schema();
+
+    // Validate grouping columns resolve.
+    for g in &stmt.group_by {
+        in_schema.resolve(g.qualifier.as_deref(), &g.name)?;
+    }
+
+    // Collect distinct aggregate calls across all select items.
+    let mut aggs: Vec<(AggFunc, Option<Expr>, String)> = Vec::new();
+    let mut rewritten_items: Vec<(Expr, String)> = Vec::new();
+    for (expr, name) in items {
+        let rewritten = rewrite_aggs(expr, &mut aggs)?;
+        // Non-aggregate select columns must appear in GROUP BY.
+        if !expr.contains_aggregate() {
+            if let Expr::Column(c) = expr {
+                let in_group = stmt.group_by.iter().any(|g| {
+                    g.name.eq_ignore_ascii_case(&c.name)
+                        && match (&g.qualifier, &c.qualifier) {
+                            (Some(a), Some(b)) => a.eq_ignore_ascii_case(b),
+                            _ => true,
+                        }
+                });
+                if !in_group {
+                    return Err(WsqError::Plan(format!(
+                        "column '{c}' must appear in GROUP BY or inside an aggregate"
+                    )));
+                }
+            } else {
+                return Err(WsqError::Plan(format!(
+                    "non-aggregate expression '{expr}' requires GROUP BY column"
+                )));
+            }
+        }
+        rewritten_items.push((rewritten, name.clone()));
+    }
+
+    // HAVING: rewrite its aggregate calls against the same synthetic
+    // columns and filter between the Aggregate and the final Project.
+    let having = stmt
+        .having
+        .as_ref()
+        .map(|h| rewrite_aggs(h, &mut aggs))
+        .transpose()?;
+
+    let mut agg_plan = PhysPlan::Aggregate {
+        input: Box::new(input),
+        group_by: stmt.group_by.clone(),
+        aggs: aggs.clone(),
+    };
+    if let Some(h) = having {
+        agg_plan = PhysPlan::Filter {
+            input: Box::new(agg_plan),
+            predicate: strip_qualifiers_in_group_refs(h, &stmt.group_by),
+        };
+    }
+    let agg_schema = agg_plan.schema();
+
+    // Rewrite grouped column references to the aggregate's output names
+    // (unqualified group column names).
+    let final_items: Vec<(Expr, String)> = rewritten_items
+        .into_iter()
+        .map(|(e, name)| (strip_qualifiers_in_group_refs(e, &stmt.group_by), name))
+        .collect();
+    let schema = project_schema(&final_items, &agg_schema);
+    Ok(PhysPlan::Project {
+        input: Box::new(agg_plan),
+        items: final_items,
+        schema,
+    })
+}
+
+/// Replace aggregate calls with references to synthetic columns, adding
+/// each distinct call to `aggs`.
+fn rewrite_aggs(expr: &Expr, aggs: &mut Vec<(AggFunc, Option<Expr>, String)>) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Agg { func, arg } => {
+            let arg_expr = arg.as_ref().map(|a| a.as_ref().clone());
+            // Reuse an identical aggregate if present.
+            let pos = aggs
+                .iter()
+                .position(|(f, a, _)| f == func && a == &arg_expr)
+                .unwrap_or_else(|| {
+                    let name = format!("#agg{}", aggs.len());
+                    aggs.push((*func, arg_expr.clone(), name));
+                    aggs.len() - 1
+                });
+            Expr::Column(ColumnRef {
+                qualifier: None,
+                name: aggs[pos].2.clone(),
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rewrite_aggs(lhs, aggs)?),
+            rhs: Box::new(rewrite_aggs(rhs, aggs)?),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_aggs(expr, aggs)?),
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(rewrite_aggs(expr, aggs)?),
+            pattern: Box::new(rewrite_aggs(pattern, aggs)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(rewrite_aggs(expr, aggs)?),
+            list: list
+                .iter()
+                .map(|e| rewrite_aggs(e, aggs))
+                .collect::<Result<Vec<_>>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(rewrite_aggs(expr, aggs)?),
+            low: Box::new(rewrite_aggs(low, aggs)?),
+            high: Box::new(rewrite_aggs(high, aggs)?),
+            negated: *negated,
+        },
+        other => other.clone(),
+    })
+}
+
+/// After aggregation, group columns are exposed unqualified; strip
+/// qualifiers from references to them.
+fn strip_qualifiers_in_group_refs(expr: Expr, group_by: &[ColumnRef]) -> Expr {
+    match expr {
+        Expr::Column(c) => {
+            if group_by.iter().any(|g| g.name.eq_ignore_ascii_case(&c.name)) {
+                Expr::Column(ColumnRef {
+                    qualifier: None,
+                    name: c.name,
+                })
+            } else {
+                Expr::Column(c)
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op,
+            lhs: Box::new(strip_qualifiers_in_group_refs(*lhs, group_by)),
+            rhs: Box::new(strip_qualifiers_in_group_refs(*rhs, group_by)),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op,
+            expr: Box::new(strip_qualifiers_in_group_refs(*expr, group_by)),
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(strip_qualifiers_in_group_refs(*expr, group_by)),
+            pattern: Box::new(strip_qualifiers_in_group_refs(*pattern, group_by)),
+            negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(strip_qualifiers_in_group_refs(*expr, group_by)),
+            list: list
+                .into_iter()
+                .map(|e| strip_qualifiers_in_group_refs(e, group_by))
+                .collect(),
+            negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(strip_qualifiers_in_group_refs(*expr, group_by)),
+            low: Box::new(strip_qualifiers_in_group_refs(*low, group_by)),
+            high: Box::new(strip_qualifiers_in_group_refs(*high, group_by)),
+            negated,
+        },
+        other => other,
+    }
+}
+
+/// Rewrite an ORDER BY key for a below-projection sort: ordinals and
+/// output-name references become the corresponding select item's
+/// expression; everything else passes through to resolve against the
+/// input schema.
+fn dealias_order_key(expr: &Expr, items: &[(Expr, String)]) -> Result<Expr> {
+    if let Expr::Literal(Literal::Int(k)) = expr {
+        if *k >= 1 && (*k as usize) <= items.len() {
+            return Ok(items[*k as usize - 1].0.clone());
+        }
+        return Err(WsqError::Plan(format!(
+            "ORDER BY ordinal {k} out of range (1..={})",
+            items.len()
+        )));
+    }
+    if let Expr::Column(c) = expr {
+        if c.qualifier.is_none() {
+            if let Some((e, _)) = items
+                .iter()
+                .find(|(_, name)| name.eq_ignore_ascii_case(&c.name))
+            {
+                return Ok(e.clone());
+            }
+        }
+    }
+    Ok(expr.clone())
+}
+
+/// Resolve an ORDER BY key against the projected output: ordinals, output
+/// names/aliases, or syntactic equality with a select item.
+fn rewrite_order_key(
+    expr: &Expr,
+    items: &[(Expr, String)],
+    out_schema: &Schema,
+) -> Result<Expr> {
+    // Ordinal.
+    if let Expr::Literal(Literal::Int(k)) = expr {
+        if *k >= 1 && (*k as usize) <= out_schema.len() {
+            return Ok(expr.clone());
+        }
+        return Err(WsqError::Plan(format!(
+            "ORDER BY ordinal {k} out of range (1..={})",
+            out_schema.len()
+        )));
+    }
+    // Syntactic match with a select item → its output name.
+    if let Some((_, name)) = items.iter().find(|(e, _)| e == expr) {
+        return Ok(Expr::Column(ColumnRef {
+            qualifier: None,
+            name: name.clone(),
+        }));
+    }
+    // A name in the output schema (alias or passed-through column).
+    if let Expr::Column(c) = expr {
+        if out_schema
+            .try_resolve(c.qualifier.as_deref(), &c.name)
+            .is_some()
+        {
+            return Ok(expr.clone());
+        }
+        if c.qualifier.is_some()
+            && out_schema.try_resolve(None, &c.name).is_some()
+        {
+            return Ok(Expr::Column(ColumnRef {
+                qualifier: None,
+                name: c.name.clone(),
+            }));
+        }
+    }
+    Err(WsqError::Plan(format!(
+        "ORDER BY key '{expr}' does not reference the select list"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::EngineRegistry;
+    use std::sync::Arc;
+    use wsq_common::{Column, DataType};
+    use wsq_pump::{SearchRequest, SearchResult, SearchService, ServiceReply};
+
+    struct Dummy;
+    impl SearchService for Dummy {
+        fn execute(&self, _req: &SearchRequest) -> ServiceReply {
+            ServiceReply::instant(SearchResult::Count(0))
+        }
+    }
+
+    fn setup() -> (Catalog, EngineRegistry) {
+        let pool = Arc::new(wsq_storage::BufferPool::new(16));
+        let f1 = pool.register_file(Box::new(wsq_storage::MemStorage::new()));
+        let f2 = pool.register_file(Box::new(wsq_storage::MemStorage::new()));
+        let f3 = pool.register_file(Box::new(wsq_storage::MemStorage::new()));
+        let f4 = pool.register_file(Box::new(wsq_storage::MemStorage::new()));
+        let mut catalog = Catalog::create(pool, f1, f2, f3, f4).unwrap();
+        catalog
+            .create_table(
+                "States",
+                &Schema::new(vec![
+                    Column::new("Name", DataType::Varchar),
+                    Column::new("Population", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        let mut engines = EngineRegistry::new();
+        engines.register("AV", Arc::new(Dummy), true);
+        engines.register("Google", Arc::new(Dummy), false);
+        (catalog, engines)
+    }
+
+    fn plan(sql: &str) -> crate::plan::PhysPlan {
+        let (catalog, engines) = setup();
+        let stmt = match wsq_sql::parse_one(sql).unwrap() {
+            wsq_sql::Statement::Select(s) => s,
+            _ => panic!(),
+        };
+        plan_select(&stmt, &catalog, &engines).unwrap()
+    }
+
+    fn plan_err(sql: &str) -> String {
+        let (catalog, engines) = setup();
+        let stmt = match wsq_sql::parse_one(sql).unwrap() {
+            wsq_sql::Statement::Select(s) => s,
+            _ => panic!(),
+        };
+        plan_select(&stmt, &catalog, &engines).unwrap_err().to_string()
+    }
+
+    fn find_spec(p: &PhysPlan) -> &EvSpec {
+        match p {
+            PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => s,
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Limit { input, .. } => find_spec(input),
+            PhysPlan::DependentJoin { left, right } => {
+                if let Some(s) = try_find(right) {
+                    s
+                } else {
+                    find_spec(left)
+                }
+            }
+            other => panic!("no spec in {other}"),
+        }
+    }
+
+    fn try_find(p: &PhysPlan) -> Option<&EvSpec> {
+        match p {
+            PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn virtual_name_parsing() {
+        assert!(matches!(
+            parse_virtual_name("WebCount"),
+            Some((VTableKind::WebCount, None))
+        ));
+        assert!(matches!(
+            parse_virtual_name("webpages_google"),
+            Some((VTableKind::WebPages, Some("google")))
+        ));
+        assert!(parse_virtual_name("WebCount_").is_none());
+        assert!(parse_virtual_name("WebCounter").is_none());
+        assert!(parse_virtual_name("States").is_none());
+    }
+
+    #[test]
+    fn default_rank_limit_applied() {
+        let p = plan("SELECT URL FROM States, WebPages WHERE Name = T1");
+        let spec = find_spec(&p);
+        assert_eq!(spec.rank_limit, DEFAULT_RANK_LIMIT);
+        // An explicit bound replaces it; the tighter bound wins.
+        let p = plan(
+            "SELECT URL FROM States, WebPages WHERE Name = T1 AND Rank <= 7 AND Rank < 5",
+        );
+        assert_eq!(find_spec(&p).rank_limit, 4);
+    }
+
+    #[test]
+    fn default_template_depends_on_engine() {
+        let p = plan("SELECT Count FROM States, WebCount WHERE Name = T1 AND T2 = 'x'");
+        assert_eq!(find_spec(&p).effective_template(), "%1 near %2");
+        let p = plan("SELECT Count FROM States, WebCount_Google WHERE Name = T1 AND T2 = 'x'");
+        let spec = find_spec(&p);
+        assert_eq!(spec.engine, "Google");
+        assert!(!spec.supports_near);
+        assert_eq!(spec.effective_template(), "%1 %2");
+    }
+
+    #[test]
+    fn explicit_searchexp_consumed() {
+        let p = plan(
+            "SELECT Count FROM States, WebCount \
+             WHERE SearchExp = '%2 AND %1' AND Name = T1 AND T2 = 'ski'",
+        );
+        let spec = find_spec(&p);
+        assert_eq!(spec.template.as_deref(), Some("%2 AND %1"));
+        assert_eq!(spec.bindings.len(), 2);
+    }
+
+    #[test]
+    fn binding_errors_are_specific() {
+        let err = plan_err("SELECT Count FROM States, WebCount WHERE T2 = 'x'");
+        assert!(err.contains("T1"), "{err}");
+        let err = plan_err("SELECT Count, T3 FROM States, WebCount WHERE Name = T1 AND T2 = 'x'");
+        assert!(err.contains("T3"), "{err}");
+        // Ti = Tj is not a binding.
+        let err = plan_err("SELECT Count FROM States, WebCount WHERE T1 = T2");
+        assert!(err.contains("T1") || err.contains("T2"), "{err}");
+    }
+
+    #[test]
+    fn gap_in_t_indexes_is_an_error() {
+        // Referencing T3 forces T1..T3 to exist; T2 unbound → error.
+        let err = plan_err(
+            "SELECT Count FROM States, WebCount WHERE Name = T1 AND T3 = 'x'",
+        );
+        assert!(err.contains("T2"), "{err}");
+    }
+
+    #[test]
+    fn reversed_equality_binds_too() {
+        let p = plan("SELECT Count FROM States, WebCount WHERE T1 = Name AND 'ski' = T2");
+        let spec = find_spec(&p);
+        assert_eq!(spec.bindings.len(), 2);
+        assert!(matches!(spec.bindings[0], EvBinding::Column(_)));
+        assert!(matches!(spec.bindings[1], EvBinding::Const(_)));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let err = plan_err("SELECT 1 FROM States, States");
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn having_requires_group_context() {
+        // HAVING forces aggregation planning; a bare column must then be
+        // grouped.
+        let err = plan_err("SELECT Name FROM States HAVING COUNT(*) > 1");
+        assert!(err.contains("GROUP BY"), "{err}");
+    }
+}

@@ -1,0 +1,142 @@
+//! The search-engine registry: maps destination names (`"AV"`, `"Google"`)
+//! to their services and capabilities.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsq_common::{Result, WsqError};
+use wsq_pump::SearchService;
+
+/// A registered search engine.
+#[derive(Clone)]
+pub struct EngineEntry {
+    /// The service executing requests (shared with the ReqPump).
+    pub service: Arc<dyn SearchService>,
+    /// Does the engine support the `NEAR` operator? Decides the default
+    /// `SearchExp` template (paper §3 footnote 1).
+    pub supports_near: bool,
+}
+
+/// Registry of search engines available to WSQ queries.
+///
+/// Virtual table references resolve here: `WebCount`/`WebPages` use the
+/// default engine; `WebCount_<E>`/`WebPages_<E>` use engine `E`.
+#[derive(Clone, Default)]
+pub struct EngineRegistry {
+    engines: HashMap<String, EngineEntry>,
+    default: Option<String>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register engine `name`. The first registered engine becomes the
+    /// default for unsuffixed `WebCount`/`WebPages` references.
+    pub fn register(
+        &mut self,
+        name: &str,
+        service: Arc<dyn SearchService>,
+        supports_near: bool,
+    ) {
+        if self.default.is_none() {
+            self.default = Some(name.to_string());
+        }
+        self.engines.insert(
+            name.to_string(),
+            EngineEntry {
+                service,
+                supports_near,
+            },
+        );
+    }
+
+    /// Override which engine is the default.
+    pub fn set_default(&mut self, name: &str) -> Result<()> {
+        if !self.engines.contains_key(name) {
+            return Err(WsqError::Plan(format!("unknown engine '{name}'")));
+        }
+        self.default = Some(name.to_string());
+        Ok(())
+    }
+
+    /// Look up an engine, case-insensitively.
+    pub fn get(&self, name: &str) -> Result<(&str, &EngineEntry)> {
+        if let Some(e) = self.engines.get(name) {
+            return Ok((
+                self.engines.keys().find(|k| *k == name).unwrap().as_str(),
+                e,
+            ));
+        }
+        // Case-insensitive fallback.
+        for (k, e) in &self.engines {
+            if k.eq_ignore_ascii_case(name) {
+                return Ok((k.as_str(), e));
+            }
+        }
+        Err(WsqError::Plan(format!("unknown search engine '{name}'")))
+    }
+
+    /// The default engine's name.
+    pub fn default_name(&self) -> Result<&str> {
+        self.default
+            .as_deref()
+            .ok_or_else(|| WsqError::Plan("no search engine registered".to_string()))
+    }
+
+    /// All registered engine names.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.engines.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsq_pump::{SearchRequest, SearchResult, ServiceReply};
+
+    struct Dummy;
+    impl SearchService for Dummy {
+        fn execute(&self, _req: &SearchRequest) -> ServiceReply {
+            ServiceReply::instant(SearchResult::Count(0))
+        }
+    }
+
+    #[test]
+    fn first_registration_is_default() {
+        let mut r = EngineRegistry::new();
+        assert!(r.default_name().is_err());
+        r.register("AV", Arc::new(Dummy), true);
+        r.register("Google", Arc::new(Dummy), false);
+        assert_eq!(r.default_name().unwrap(), "AV");
+        r.set_default("Google").unwrap();
+        assert_eq!(r.default_name().unwrap(), "Google");
+        assert!(r.set_default("Bing").is_err());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut r = EngineRegistry::new();
+        r.register("Google", Arc::new(Dummy), false);
+        let (name, entry) = r.get("google").unwrap();
+        assert_eq!(name, "Google");
+        assert!(!entry.supports_near);
+        assert!(r.get("altavista").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut r = EngineRegistry::new();
+        r.register("Google", Arc::new(Dummy), false);
+        r.register("AV", Arc::new(Dummy), true);
+        assert_eq!(r.names(), vec!["AV", "Google"]);
+    }
+}

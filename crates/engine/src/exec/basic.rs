@@ -1,0 +1,634 @@
+//! Scans, selection, projection, sorting, aggregation, distinct, limit.
+
+use super::Executor;
+use crate::expr::{compile, CExpr};
+use std::collections::HashMap;
+use std::sync::Arc;
+use wsq_common::{GroupKey, Result, Schema, Tuple, Value, WsqError};
+use wsq_sql::ast::{AggFunc, ColumnRef, Expr, Literal};
+use wsq_storage::codec;
+use wsq_storage::heap::HeapFile;
+
+/// Sequential scan of a stored heap file.
+pub struct SeqScanExec {
+    heap: Arc<HeapFile>,
+    /// Qualified output schema (alias applied).
+    schema: Schema,
+    /// Unqualified storage schema for decoding.
+    page: u32,
+    slot: u16,
+}
+
+impl SeqScanExec {
+    /// Scan `heap`, producing tuples under `schema` (already qualified).
+    pub fn new(heap: Arc<HeapFile>, schema: Schema) -> Self {
+        SeqScanExec {
+            heap,
+            schema,
+            page: 1,
+            slot: 0,
+        }
+    }
+}
+
+impl Executor for SeqScanExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.page = 1;
+        self.slot = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.heap.next_from(self.page, self.slot)? {
+            Some((rid, bytes)) => {
+                self.page = rid.page.0;
+                self.slot = rid.slot.0 + 1;
+                Ok(Some(codec::decode(&self.schema, &bytes)?))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// B+-tree equality lookup: resolve rids through the index, then fetch
+/// the rows from the heap.
+pub struct IndexScanExec {
+    heap: Arc<HeapFile>,
+    tree: Arc<wsq_storage::BTree>,
+    schema: Schema,
+    key: Vec<u8>,
+    rids: Vec<wsq_storage::Rid>,
+    pos: usize,
+}
+
+impl IndexScanExec {
+    /// Scan rows of `heap` whose indexed column equals `key`.
+    pub fn new(
+        heap: Arc<HeapFile>,
+        tree: Arc<wsq_storage::BTree>,
+        schema: Schema,
+        key: Value,
+    ) -> Result<Self> {
+        Ok(IndexScanExec {
+            heap,
+            tree,
+            schema,
+            key: wsq_storage::codec::encode_key(&key)?,
+            rids: Vec::new(),
+            pos: 0,
+        })
+    }
+}
+
+impl Executor for IndexScanExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.rids = self.tree.search(&self.key)?;
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.pos >= self.rids.len() {
+            return Ok(None);
+        }
+        let rid = self.rids[self.pos];
+        self.pos += 1;
+        let bytes = self.heap.get(rid)?;
+        Ok(Some(codec::decode(&self.schema, &bytes)?))
+    }
+}
+
+/// Literal rows.
+pub struct ValuesExec {
+    schema: Schema,
+    rows: Vec<Tuple>,
+    pos: usize,
+}
+
+impl ValuesExec {
+    /// Emit `rows` under `schema`.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> Self {
+        ValuesExec {
+            schema,
+            rows,
+            pos: 0,
+        }
+    }
+}
+
+impl Executor for ValuesExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.pos < self.rows.len() {
+            self.pos += 1;
+            Ok(Some(self.rows[self.pos - 1].clone()))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Selection.
+pub struct FilterExec {
+    child: Box<dyn Executor>,
+    predicate: CExpr,
+    schema: Schema,
+}
+
+impl FilterExec {
+    /// Filter `child` by `predicate` (compiled against the child schema).
+    pub fn new(child: Box<dyn Executor>, predicate: &Expr) -> Result<Self> {
+        let schema = child.schema().clone();
+        let predicate = compile(predicate, &schema)?;
+        Ok(FilterExec {
+            child,
+            predicate,
+            schema,
+        })
+    }
+}
+
+impl Executor for FilterExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.child.next()? {
+            if self.predicate.eval_bool(&t)? {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// Projection (expressions + renaming).
+pub struct ProjectExec {
+    child: Box<dyn Executor>,
+    exprs: Vec<CExpr>,
+    schema: Schema,
+}
+
+impl ProjectExec {
+    /// Project `items` out of `child`.
+    pub fn new(
+        child: Box<dyn Executor>,
+        items: &[(Expr, String)],
+        schema: Schema,
+    ) -> Result<Self> {
+        let in_schema = child.schema();
+        let exprs = items
+            .iter()
+            .map(|(e, _)| compile(e, in_schema))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ProjectExec {
+            child,
+            exprs,
+            schema,
+        })
+    }
+}
+
+impl Executor for ProjectExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match self.child.next()? {
+            Some(t) => {
+                let mut vals = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    vals.push(e.eval(&t)?);
+                }
+                Ok(Some(Tuple::new(vals)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// Materializing sort.
+pub struct SortExec {
+    child: Box<dyn Executor>,
+    keys: Vec<(CExpr, bool)>,
+    schema: Schema,
+    sorted: Vec<Tuple>,
+    pos: usize,
+}
+
+impl SortExec {
+    /// Sort `child` by `keys` (`(expr, descending)`). An integer literal
+    /// key is an ordinal (`ORDER BY 2` = second output column).
+    pub fn new(child: Box<dyn Executor>, keys: &[(Expr, bool)]) -> Result<Self> {
+        let schema = child.schema().clone();
+        let keys = keys
+            .iter()
+            .map(|(e, desc)| {
+                let c = match e {
+                    Expr::Literal(Literal::Int(k)) if *k >= 1 && (*k as usize) <= schema.len() => {
+                        CExpr::Column(*k as usize - 1)
+                    }
+                    other => compile(other, &schema)?,
+                };
+                Ok((c, *desc))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SortExec {
+            child,
+            keys,
+            schema,
+            sorted: Vec::new(),
+            pos: 0,
+        })
+    }
+}
+
+impl Executor for SortExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        let mut rows: Vec<(Vec<Value>, Tuple)> = Vec::new();
+        while let Some(t) = self.child.next()? {
+            let mut key = Vec::with_capacity(self.keys.len());
+            for (e, _) in &self.keys {
+                key.push(e.eval(&t)?);
+            }
+            rows.push((key, t));
+        }
+        self.child.close()?;
+        // Validate all keys are comparable up front (placeholders would be
+        // a clash-rule violation), then sort infallibly. The sort is
+        // stable, so equal keys preserve input order.
+        for (key, _) in &rows {
+            for v in key {
+                if v.is_pending() {
+                    return Err(WsqError::Exec(
+                        "sort key contains unresolved placeholder".to_string(),
+                    ));
+                }
+            }
+        }
+        let descs: Vec<bool> = self.keys.iter().map(|(_, d)| *d).collect();
+        rows.sort_by(|(ka, _), (kb, _)| {
+            for ((a, b), desc) in ka.iter().zip(kb).zip(&descs) {
+                let ord = a.compare(b).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.sorted = rows.into_iter().map(|(_, t)| t).collect();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.pos < self.sorted.len() {
+            self.pos += 1;
+            Ok(Some(self.sorted[self.pos - 1].clone()))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Duplicate elimination over complete tuples.
+pub struct DistinctExec {
+    child: Box<dyn Executor>,
+    schema: Schema,
+    seen: std::collections::HashSet<Vec<GroupKey>>,
+}
+
+impl DistinctExec {
+    /// De-duplicate `child`.
+    pub fn new(child: Box<dyn Executor>) -> Self {
+        let schema = child.schema().clone();
+        DistinctExec {
+            child,
+            schema,
+            seen: Default::default(),
+        }
+    }
+}
+
+impl Executor for DistinctExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.seen.clear();
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.child.next()? {
+            if t.is_incomplete() {
+                return Err(WsqError::Exec(
+                    "DISTINCT over unresolved placeholders (clash-rule violation)".to_string(),
+                ));
+            }
+            let key: Vec<GroupKey> = t.values().iter().map(Value::group_key).collect();
+            if self.seen.insert(key) {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// Row limit.
+pub struct LimitExec {
+    child: Box<dyn Executor>,
+    schema: Schema,
+    n: u64,
+    emitted: u64,
+}
+
+impl LimitExec {
+    /// Pass at most `n` rows of `child`.
+    pub fn new(child: Box<dyn Executor>, n: u64) -> Self {
+        let schema = child.schema().clone();
+        LimitExec {
+            child,
+            schema,
+            n,
+            emitted: 0,
+        }
+    }
+}
+
+impl Executor for LimitExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.emitted = 0;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.emitted >= self.n {
+            return Ok(None);
+        }
+        match self.child.next()? {
+            Some(t) => {
+                self.emitted += 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+}
+
+/// One aggregate accumulator.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum(Option<Value>),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum(None),
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) gets None-arg updates; COUNT(c) skips NULLs.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    Some(_) => {}
+                }
+            }
+            Acc::Sum(acc) => {
+                if let Some(val) = v.filter(|v| !v.is_null()) {
+                    *acc = Some(match acc.take() {
+                        None => val.clone(),
+                        Some(Value::Int(a)) => match val {
+                            Value::Int(b) => Value::Int(a + b),
+                            other => Value::Float(a as f64 + other.as_float()?),
+                        },
+                        Some(Value::Float(a)) => Value::Float(a + val.as_float()?),
+                        Some(other) => {
+                            return Err(WsqError::Type(format!("cannot SUM {other}")))
+                        }
+                    });
+                }
+            }
+            Acc::Min(acc) => {
+                if let Some(val) = v.filter(|v| !v.is_null()) {
+                    let replace = match acc {
+                        None => true,
+                        Some(cur) => val.compare(cur)? == std::cmp::Ordering::Less,
+                    };
+                    if replace {
+                        *acc = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Max(acc) => {
+                if let Some(val) = v.filter(|v| !v.is_null()) {
+                    let replace = match acc {
+                        None => true,
+                        Some(cur) => val.compare(cur)? == std::cmp::Ordering::Greater,
+                    };
+                    if replace {
+                        *acc = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(val) = v.filter(|v| !v.is_null()) {
+                    *sum += val.as_float()?;
+                    *n += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::Sum(v) | Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Hash aggregation with optional grouping.
+pub struct AggregateExec {
+    child: Box<dyn Executor>,
+    group_idx: Vec<usize>,
+    aggs: Vec<(AggFunc, Option<CExpr>)>,
+    schema: Schema,
+    results: Vec<Tuple>,
+    pos: usize,
+}
+
+impl AggregateExec {
+    /// Aggregate `child` grouped by `group_by` columns.
+    pub fn new(
+        child: Box<dyn Executor>,
+        group_by: &[ColumnRef],
+        aggs: &[(AggFunc, Option<Expr>, String)],
+        schema: Schema,
+    ) -> Result<Self> {
+        let in_schema = child.schema();
+        let group_idx = group_by
+            .iter()
+            .map(|g| in_schema.resolve(g.qualifier.as_deref(), &g.name))
+            .collect::<Result<Vec<_>>>()?;
+        let aggs = aggs
+            .iter()
+            .map(|(f, a, _)| {
+                let c = a.as_ref().map(|e| compile(e, in_schema)).transpose()?;
+                Ok((*f, c))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(AggregateExec {
+            child,
+            group_idx,
+            aggs,
+            schema,
+            results: Vec::new(),
+            pos: 0,
+        })
+    }
+}
+
+impl Executor for AggregateExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        // Preserve first-seen group order for deterministic output.
+        let mut groups: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        let mut states: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+        while let Some(t) = self.child.next()? {
+            if t.is_incomplete() {
+                return Err(WsqError::Exec(
+                    "aggregation over unresolved placeholders (clash-rule violation)"
+                        .to_string(),
+                ));
+            }
+            let key: Vec<GroupKey> = self
+                .group_idx
+                .iter()
+                .map(|&i| t.get(i).group_key())
+                .collect();
+            let slot = match groups.get(&key) {
+                Some(&s) => s,
+                None => {
+                    let vals: Vec<Value> =
+                        self.group_idx.iter().map(|&i| t.get(i).clone()).collect();
+                    let accs: Vec<Acc> =
+                        self.aggs.iter().map(|(f, _)| Acc::new(*f)).collect();
+                    states.push((vals, accs));
+                    groups.insert(key, states.len() - 1);
+                    states.len() - 1
+                }
+            };
+            for ((_, cexpr), acc) in self.aggs.iter().zip(states[slot].1.iter_mut()) {
+                match cexpr {
+                    Some(e) => acc.update(Some(&e.eval(&t)?))?,
+                    None => acc.update(None)?,
+                }
+            }
+        }
+        self.child.close()?;
+        // A global aggregate (no GROUP BY) over empty input yields one row.
+        if states.is_empty() && self.group_idx.is_empty() {
+            states.push((
+                vec![],
+                self.aggs.iter().map(|(f, _)| Acc::new(*f)).collect(),
+            ));
+        }
+        self.results = states
+            .into_iter()
+            .map(|(mut vals, accs)| {
+                vals.extend(accs.into_iter().map(Acc::finish));
+                Tuple::new(vals)
+            })
+            .collect();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.pos < self.results.len() {
+            self.pos += 1;
+            Ok(Some(self.results[self.pos - 1].clone()))
+        } else {
+            Ok(None)
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! External virtual table scans: the synchronous `EVScan` and the
+//! asynchronous `AEVScan` (paper §4.1).
+
+use super::Executor;
+use crate::plan::{EvSpec, VTableKind};
+use std::sync::Arc;
+use wsq_common::{
+    CallId, PendingCol, Placeholder, Result, Schema, Tuple, Value, WsqError,
+};
+use wsq_pump::{
+    blocking_execute, ReqPump, RequestKind, SearchRequest, SearchResult, SearchService,
+};
+
+fn request_for(spec: &EvSpec, expr: String) -> SearchRequest {
+    SearchRequest {
+        engine: spec.engine.clone(),
+        expr,
+        kind: match spec.kind {
+            VTableKind::WebCount => RequestKind::Count,
+            VTableKind::WebPages => RequestKind::Pages {
+                max_rank: spec.rank_limit,
+            },
+        },
+    }
+}
+
+/// Prefix columns shared by every produced tuple: SearchExp then T1..Tn.
+fn prefix_values(expr: &str, bindings: &[Value]) -> Vec<Value> {
+    let mut vals = Vec::with_capacity(bindings.len() + 1);
+    vals.push(Value::Str(expr.to_string()));
+    vals.extend(bindings.iter().cloned());
+    vals
+}
+
+/// Synchronous external virtual scan: each `open` performs a blocking
+/// search call — the query processor idles for the full latency, exactly
+/// the behavior asynchronous iteration exists to fix.
+pub struct EVScanExec {
+    spec: EvSpec,
+    service: Arc<dyn SearchService>,
+    schema: Schema,
+    bindings: Vec<Value>,
+    rows: Vec<Tuple>,
+    pos: usize,
+    fetched: bool,
+}
+
+impl EVScanExec {
+    /// Create a scan of `spec` against `service`.
+    pub fn new(spec: EvSpec, service: Arc<dyn SearchService>) -> Self {
+        let schema = spec.schema();
+        EVScanExec {
+            spec,
+            service,
+            schema,
+            bindings: Vec::new(),
+            rows: Vec::new(),
+            pos: 0,
+            fetched: false,
+        }
+    }
+}
+
+impl Executor for EVScanExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn rebind(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.spec.bindings.len() {
+            return Err(WsqError::Exec(format!(
+                "expected {} bindings, got {}",
+                self.spec.bindings.len(),
+                values.len()
+            )));
+        }
+        self.bindings = values.to_vec();
+        self.fetched = false;
+        Ok(())
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.rows.clear();
+        self.pos = 0;
+        self.fetched = false;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if !self.fetched {
+            self.fetched = true;
+            let expr = self.spec.instantiate(&self.bindings);
+            let req = request_for(&self.spec, expr.clone());
+            let result = blocking_execute(self.service.as_ref(), &req)?;
+            let prefix = prefix_values(&expr, &self.bindings);
+            self.rows = materialize_result(&self.spec, &prefix, &result);
+            self.pos = 0;
+        }
+        if self.pos < self.rows.len() {
+            self.pos += 1;
+            Ok(Some(self.rows[self.pos - 1].clone()))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Turn a search result into virtual-table tuples.
+pub(crate) fn materialize_result(
+    spec: &EvSpec,
+    prefix: &[Value],
+    result: &SearchResult,
+) -> Vec<Tuple> {
+    match (spec.kind, result) {
+        (VTableKind::WebCount, SearchResult::Count(n)) => {
+            let mut vals = prefix.to_vec();
+            vals.push(Value::Int(*n as i64));
+            vec![Tuple::new(vals)]
+        }
+        (VTableKind::WebPages, SearchResult::Pages(hits)) => hits
+            .iter()
+            .map(|h| {
+                let mut vals = prefix.to_vec();
+                vals.push(Value::Str(h.url.clone()));
+                vals.push(Value::Int(h.rank as i64));
+                vals.push(Value::Str(h.date.clone()));
+                Tuple::new(vals)
+            })
+            .collect(),
+        // A mismatched result shape is a service bug; surface it as an
+        // empty result rather than wrong data.
+        _ => vec![],
+    }
+}
+
+/// Asynchronous external virtual scan: registers the call with ReqPump and
+/// immediately returns ONE optimistic tuple whose external attributes are
+/// placeholders; `ReqSync` later patches, cancels, or multiplies it.
+pub struct AEVScanExec {
+    spec: EvSpec,
+    pump: Arc<ReqPump>,
+    schema: Schema,
+    bindings: Vec<Value>,
+    emitted: bool,
+}
+
+impl AEVScanExec {
+    /// Create an async scan of `spec` registering through `pump`.
+    pub fn new(spec: EvSpec, pump: Arc<ReqPump>) -> Self {
+        let schema = spec.schema();
+        AEVScanExec {
+            spec,
+            pump,
+            schema,
+            bindings: Vec::new(),
+            emitted: false,
+        }
+    }
+}
+
+impl Executor for AEVScanExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn rebind(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.spec.bindings.len() {
+            return Err(WsqError::Exec(format!(
+                "expected {} bindings, got {}",
+                self.spec.bindings.len(),
+                values.len()
+            )));
+        }
+        self.bindings = values.to_vec();
+        self.emitted = false;
+        Ok(())
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.emitted = false;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if self.emitted {
+            return Ok(None);
+        }
+        self.emitted = true;
+        // Refuse to instantiate a search expression from placeholder
+        // bindings — the asyncify pass must have resolved them first.
+        for v in &self.bindings {
+            if v.is_pending() {
+                return Err(WsqError::Exec(
+                    "virtual-table binding is an unresolved placeholder \
+                     (percolation should have flushed the upstream ReqSync)"
+                        .to_string(),
+                ));
+            }
+        }
+        let expr = self.spec.instantiate(&self.bindings);
+        let call: CallId = self.pump.register(request_for(&self.spec, expr.clone()))?;
+        let mut vals = prefix_values(&expr, &self.bindings);
+        let ph = |col: PendingCol| Value::Pending(Placeholder { call, col });
+        match self.spec.kind {
+            VTableKind::WebCount => vals.push(ph(PendingCol::Count)),
+            VTableKind::WebPages => {
+                vals.push(ph(PendingCol::Url));
+                vals.push(ph(PendingCol::Rank));
+                vals.push(ph(PendingCol::Date));
+            }
+        }
+        Ok(Some(Tuple::new(vals)))
+    }
+}

@@ -1,0 +1,189 @@
+//! Join executors: nested-loop join / cross product, and the dependent
+//! join that feeds bindings to virtual-table scans.
+
+use super::Executor;
+use crate::expr::{compile, CExpr};
+use crate::plan::{EvBinding, EvSpec};
+use wsq_common::{Result, Schema, Tuple, Value};
+use wsq_sql::ast::Expr;
+
+/// Inner nested-loop join (predicate `None` = cross product).
+///
+/// The inner side is fully materialized at `open`. Besides being the
+/// classic implementation, this has the property §4 wants: any `AEVScan`s
+/// in the inner subtree register *all* their calls up front, maximizing
+/// concurrency.
+pub struct NestedLoopJoinExec {
+    left: Box<dyn Executor>,
+    right: Box<dyn Executor>,
+    predicate: Option<CExpr>,
+    schema: Schema,
+    inner: Vec<Tuple>,
+    outer: Option<Tuple>,
+    inner_pos: usize,
+}
+
+impl NestedLoopJoinExec {
+    /// Join `left` and `right` on `predicate` (compiled against the
+    /// concatenated schema).
+    pub fn new(
+        left: Box<dyn Executor>,
+        right: Box<dyn Executor>,
+        predicate: Option<&Expr>,
+    ) -> Result<Self> {
+        let schema = left.schema().join(right.schema());
+        let predicate = predicate.map(|p| compile(p, &schema)).transpose()?;
+        Ok(NestedLoopJoinExec {
+            left,
+            right,
+            predicate,
+            schema,
+            inner: Vec::new(),
+            outer: None,
+            inner_pos: 0,
+        })
+    }
+}
+
+impl Executor for NestedLoopJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.right.open()?;
+        self.inner.clear();
+        while let Some(t) = self.right.next()? {
+            self.inner.push(t);
+        }
+        self.right.close()?;
+        self.left.open()?;
+        self.outer = None;
+        self.inner_pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if self.outer.is_none() {
+                self.outer = self.left.next()?;
+                self.inner_pos = 0;
+                if self.outer.is_none() {
+                    return Ok(None);
+                }
+            }
+            let outer = self.outer.as_ref().expect("just set");
+            while self.inner_pos < self.inner.len() {
+                let joined = outer.join(&self.inner[self.inner_pos]);
+                self.inner_pos += 1;
+                let keep = match &self.predicate {
+                    Some(p) => p.eval_bool(&joined)?,
+                    None => true,
+                };
+                if keep {
+                    return Ok(Some(joined));
+                }
+            }
+            self.outer = None;
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.left.close()
+    }
+}
+
+/// The dependent join (paper §4, FLMS99): for each outer tuple, compute
+/// the binding values and re-open the inner virtual scan with them.
+pub struct DependentJoinExec {
+    left: Box<dyn Executor>,
+    right: Box<dyn Executor>,
+    /// How to produce each binding value from an outer tuple.
+    slots: Vec<BindingSlot>,
+    schema: Schema,
+    outer: Option<Tuple>,
+}
+
+enum BindingSlot {
+    Const(Value),
+    Idx(usize),
+}
+
+impl DependentJoinExec {
+    /// Build from the inner scan's [`EvSpec`]; column bindings are
+    /// resolved against the outer schema here, once.
+    pub fn new(
+        left: Box<dyn Executor>,
+        right: Box<dyn Executor>,
+        spec: &EvSpec,
+    ) -> Result<Self> {
+        let left_schema = left.schema().clone();
+        let slots = spec
+            .bindings
+            .iter()
+            .map(|b| match b {
+                EvBinding::Const(v) => Ok(BindingSlot::Const(v.clone())),
+                EvBinding::Column(c) => Ok(BindingSlot::Idx(
+                    left_schema.resolve(c.qualifier.as_deref(), &c.name)?,
+                )),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let schema = left_schema.join(right.schema());
+        Ok(DependentJoinExec {
+            left,
+            right,
+            slots,
+            schema,
+            outer: None,
+        })
+    }
+}
+
+impl Executor for DependentJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.outer = None;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if self.outer.is_none() {
+                match self.left.next()? {
+                    Some(t) => {
+                        let values: Vec<Value> = self
+                            .slots
+                            .iter()
+                            .map(|s| match s {
+                                BindingSlot::Const(v) => v.clone(),
+                                BindingSlot::Idx(i) => t.get(*i).clone(),
+                            })
+                            .collect();
+                        self.right.rebind(&values)?;
+                        self.right.open()?;
+                        self.outer = Some(t);
+                    }
+                    None => return Ok(None),
+                }
+            }
+            match self.right.next()? {
+                Some(r) => {
+                    let outer = self.outer.as_ref().expect("outer set");
+                    return Ok(Some(outer.join(&r)));
+                }
+                None => {
+                    self.right.close()?;
+                    self.outer = None;
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.left.close()
+    }
+}

@@ -1,0 +1,249 @@
+//! Volcano-style executors (Graefe's iterator model, as in the paper's
+//! figures): every operator supports `open` / `next` / `close`.
+
+mod basic;
+mod external;
+pub mod instrument;
+mod join;
+mod parallel;
+mod reqsync;
+#[cfg(test)]
+mod tests;
+
+pub use basic::{
+    AggregateExec, DistinctExec, FilterExec, IndexScanExec, LimitExec, ProjectExec, SeqScanExec,
+    SortExec, ValuesExec,
+};
+pub use external::{AEVScanExec, EVScanExec};
+pub use join::{DependentJoinExec, NestedLoopJoinExec};
+pub use instrument::{Instrumentation, Instrumented, OpCounters, OpStats};
+pub use parallel::ParallelDependentJoinExec;
+pub use reqsync::ReqSyncExec;
+
+use crate::engines::EngineRegistry;
+use crate::plan::PhysPlan;
+use std::sync::Arc;
+use wsq_common::{Result, Schema, Tuple, Value, WsqError};
+use wsq_pump::ReqPump;
+use wsq_storage::heap::HeapFile;
+
+/// Provides stored-table access to scan executors.
+pub trait TableSource {
+    /// The heap file and (unqualified) schema of a stored table.
+    fn table(&self, name: &str) -> Result<(Arc<HeapFile>, Schema)>;
+    /// The B+-tree index on `table.column`, if one exists.
+    fn table_index(&self, _table: &str, _column: &str) -> Option<Arc<wsq_storage::BTree>> {
+        None
+    }
+}
+
+/// Everything executors need at build/run time.
+pub struct ExecContext<'a> {
+    /// Stored tables.
+    pub tables: &'a dyn TableSource,
+    /// The global request pump (asynchronous iteration).
+    pub pump: Arc<ReqPump>,
+    /// Registered search engines.
+    pub engines: &'a EngineRegistry,
+}
+
+/// The iterator interface every physical operator implements.
+pub trait Executor {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// (Re)initialize; must be callable repeatedly (inner sides of joins
+    /// are re-opened).
+    fn open(&mut self) -> Result<()>;
+    /// Produce the next tuple, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+    /// Release resources. Default: nothing to do.
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+    /// Supply fresh outer bindings (external virtual scans under a
+    /// dependent join only).
+    fn rebind(&mut self, _values: &[Value]) -> Result<()> {
+        Err(WsqError::Exec(
+            "this operator does not accept bindings".to_string(),
+        ))
+    }
+}
+
+/// Build an executor tree from a physical plan.
+pub fn build(plan: &PhysPlan, ctx: &ExecContext<'_>) -> Result<Box<dyn Executor>> {
+    build_with(plan, ctx, None, 0)
+}
+
+/// Build an executor tree with EXPLAIN-ANALYZE instrumentation: every
+/// operator is wrapped in an [`Instrumented`] counter registered with
+/// `instr` in plan pre-order.
+pub fn build_instrumented(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    instr: &Instrumentation,
+) -> Result<Box<dyn Executor>> {
+    build_with(plan, ctx, Some(instr), 0)
+}
+
+fn build_with(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    instr: Option<&Instrumentation>,
+    depth: usize,
+) -> Result<Box<dyn Executor>> {
+    // Register BEFORE recursing so the report lists operators in plan
+    // pre-order (parent above children, matching EXPLAIN).
+    let counters = instr.map(|ins| {
+        let label = plan
+            .display()
+            .lines()
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .to_string();
+        ins.register(depth, label)
+    });
+    let exec = build_node(plan, ctx, instr, depth)?;
+    Ok(match counters {
+        Some(counters) => Box::new(Instrumented::new(exec, counters)),
+        None => exec,
+    })
+}
+
+fn build_node(
+    plan: &PhysPlan,
+    ctx: &ExecContext<'_>,
+    instr: Option<&Instrumentation>,
+    depth: usize,
+) -> Result<Box<dyn Executor>> {
+    let build = |p: &PhysPlan| build_with(p, ctx, instr, depth + 1);
+    match plan {
+        PhysPlan::SeqScan { table, alias, .. } => {
+            let (heap, schema) = ctx.tables.table(table)?;
+            Ok(Box::new(SeqScanExec::new(heap, schema.with_qualifier(alias))))
+        }
+        PhysPlan::IndexScan {
+            table,
+            alias,
+            column,
+            key,
+            ..
+        } => {
+            let (heap, schema) = ctx.tables.table(table)?;
+            let tree = ctx.tables.table_index(table, column).ok_or_else(|| {
+                WsqError::Plan(format!("no index on {table}({column})"))
+            })?;
+            Ok(Box::new(basic::IndexScanExec::new(
+                heap,
+                tree,
+                schema.with_qualifier(alias),
+                key.clone(),
+            )?))
+        }
+        PhysPlan::Values { schema, rows } => Ok(Box::new(ValuesExec::new(
+            schema.clone(),
+            rows.iter().map(|r| Tuple::new(r.clone())).collect(),
+        ))),
+        PhysPlan::EVScan(spec) => {
+            let (_, entry) = ctx.engines.get(&spec.engine)?;
+            Ok(Box::new(EVScanExec::new(spec.clone(), entry.service.clone())))
+        }
+        PhysPlan::AEVScan(spec) => Ok(Box::new(AEVScanExec::new(
+            spec.clone(),
+            ctx.pump.clone(),
+        ))),
+        PhysPlan::Filter { input, predicate } => {
+            let child = build(input)?;
+            Ok(Box::new(FilterExec::new(child, predicate)?))
+        }
+        PhysPlan::Project {
+            input,
+            items,
+            schema,
+        } => {
+            let child = build(input)?;
+            Ok(Box::new(ProjectExec::new(child, items, schema.clone())?))
+        }
+        PhysPlan::DependentJoin { left, right } => {
+            let l = build(left)?;
+            let r = build(right)?;
+            let spec = match right.as_ref() {
+                PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => s.clone(),
+                other => {
+                    return Err(WsqError::Plan(format!(
+                        "dependent join inner must be a virtual scan, got:\n{other}"
+                    )))
+                }
+            };
+            Ok(Box::new(DependentJoinExec::new(l, r, &spec)?))
+        }
+        PhysPlan::ParallelDependentJoin {
+            left,
+            spec,
+            threads,
+        } => {
+            let l = build(left)?;
+            let (_, entry) = ctx.engines.get(&spec.engine)?;
+            Ok(Box::new(ParallelDependentJoinExec::new(
+                l,
+                spec.clone(),
+                entry.service.clone(),
+                *threads,
+            )?))
+        }
+        PhysPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = build(left)?;
+            let r = build(right)?;
+            Ok(Box::new(NestedLoopJoinExec::new(l, r, Some(predicate))?))
+        }
+        PhysPlan::CrossProduct { left, right } => {
+            let l = build(left)?;
+            let r = build(right)?;
+            Ok(Box::new(NestedLoopJoinExec::new(l, r, None)?))
+        }
+        PhysPlan::Sort { input, keys } => {
+            let child = build(input)?;
+            Ok(Box::new(SortExec::new(child, keys)?))
+        }
+        PhysPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let child = build(input)?;
+            Ok(Box::new(AggregateExec::new(
+                child,
+                group_by,
+                aggs,
+                plan.schema(),
+            )?))
+        }
+        PhysPlan::Distinct { input } => {
+            let child = build(input)?;
+            Ok(Box::new(DistinctExec::new(child)))
+        }
+        PhysPlan::Limit { input, n } => {
+            let child = build(input)?;
+            Ok(Box::new(LimitExec::new(child, *n)))
+        }
+        PhysPlan::ReqSync { input, mode, .. } => {
+            let child = build(input)?;
+            Ok(Box::new(ReqSyncExec::new(child, ctx.pump.clone(), *mode)))
+        }
+    }
+}
+
+/// Run an executor to completion, collecting all tuples.
+pub fn collect(exec: &mut dyn Executor) -> Result<Vec<Tuple>> {
+    exec.open()?;
+    let mut out = Vec::new();
+    while let Some(t) = exec.next()? {
+        out.push(t);
+    }
+    exec.close()?;
+    Ok(out)
+}

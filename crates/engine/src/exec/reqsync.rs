@@ -1,0 +1,313 @@
+//! The `ReqSync` operator (paper §4.1, §4.3, §4.4): buffers incomplete
+//! tuples and coordinates with ReqPump to patch them as calls complete.
+//!
+//! For each completed call `C`, every buffered tuple carrying a `C`
+//! placeholder is processed per §4.3:
+//!
+//! 1. zero result rows → the tuple is **cancelled**;
+//! 2. one row → its placeholder attributes are **filled in**;
+//! 3. `n > 1` rows → `n − 1` **copies** are created and all are filled.
+//!
+//! Copies retain any placeholders for *other* pending calls (§4.4's
+//! nuance) and are re-indexed under those calls. Exactly one tuple "owns"
+//! each pump registration; ownership drives `ReqPump::release` so results
+//! are freed exactly once even when copies proliferate references.
+
+use super::Executor;
+use crate::plan::BufferMode;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use wsq_common::{CallId, PendingCol, Result, Schema, Tuple, Value, WsqError};
+use wsq_pump::{ReqPump, SearchResult};
+
+struct BufTuple {
+    tuple: Tuple,
+    /// Calls whose pump registration this tuple is responsible for
+    /// releasing (copies own nothing unless explicitly transferred).
+    owns: Vec<CallId>,
+}
+
+/// The request synchronizer executor.
+pub struct ReqSyncExec {
+    child: Box<dyn Executor>,
+    pump: Arc<ReqPump>,
+    mode: BufferMode,
+    schema: Schema,
+    /// Completed tuples awaiting emission.
+    ready: VecDeque<Tuple>,
+    /// Incomplete tuples, keyed by an internal id.
+    buffered: HashMap<u64, BufTuple>,
+    /// Pending call → buffered tuple ids (may contain stale ids).
+    index: HashMap<CallId, Vec<u64>>,
+    next_id: u64,
+    child_done: bool,
+    opened: bool,
+}
+
+impl ReqSyncExec {
+    /// Synchronize `child`'s placeholder tuples against `pump`.
+    pub fn new(child: Box<dyn Executor>, pump: Arc<ReqPump>, mode: BufferMode) -> Self {
+        let schema = child.schema().clone();
+        ReqSyncExec {
+            child,
+            pump,
+            mode,
+            schema,
+            ready: VecDeque::new(),
+            buffered: HashMap::new(),
+            index: HashMap::new(),
+            next_id: 0,
+            child_done: false,
+            opened: false,
+        }
+    }
+
+    fn admit(&mut self, tuple: Tuple) {
+        if !tuple.is_incomplete() {
+            self.ready.push_back(tuple);
+            return;
+        }
+        let calls = tuple.pending_calls();
+        let id = self.next_id;
+        self.next_id += 1;
+        for &c in &calls {
+            self.index.entry(c).or_default().push(id);
+        }
+        self.buffered.insert(
+            id,
+            BufTuple {
+                tuple,
+                owns: calls,
+            },
+        );
+    }
+
+    /// Remove a tuple id from the index lists of `calls`, dropping lists
+    /// that become empty (so `pending_calls` never names a call the pump
+    /// may already have forgotten).
+    fn unindex(&mut self, id: u64, calls: &[CallId]) {
+        for c in calls {
+            if let Some(list) = self.index.get_mut(c) {
+                list.retain(|&x| x != id);
+                if list.is_empty() {
+                    self.index.remove(c);
+                }
+            }
+        }
+    }
+
+    /// Apply a completed call's result to every tuple waiting on it.
+    fn patch(&mut self, call: CallId) -> Result<()> {
+        let Some(ids) = self.index.remove(&call) else {
+            return Ok(());
+        };
+        let outcome = self
+            .pump
+            .peek(call)
+            .ok_or_else(|| WsqError::Exec(format!("call {call} vanished from ReqPumpHash")))?;
+        for id in ids {
+            // Stale ids (tuple already cancelled/rewritten) are skipped.
+            let Some(entry) = self.buffered.remove(&id) else {
+                continue;
+            };
+            // Drop this tuple's entries under its *other* pending calls;
+            // readmitted descendants are indexed afresh.
+            let others: Vec<CallId> = entry
+                .tuple
+                .pending_calls()
+                .into_iter()
+                .filter(|c| *c != call)
+                .collect();
+            self.unindex(id, &others);
+            let BufTuple { tuple, mut owns } = entry;
+            let owned_here = owns.iter().position(|c| *c == call).map(|i| {
+                owns.remove(i);
+            });
+            match &outcome {
+                Err(e) => {
+                    // A failed external call fails the query. Release what
+                    // we own first so the pump does not leak.
+                    if owned_here.is_some() {
+                        self.pump.release(call);
+                    }
+                    for c in owns {
+                        self.pump.release(c);
+                    }
+                    return Err(e.clone());
+                }
+                Ok(SearchResult::Count(n)) => {
+                    let mut t = tuple;
+                    fill(&mut t, call, |col| match col {
+                        PendingCol::Count => Some(Value::Int(*n as i64)),
+                        _ => None,
+                    });
+                    self.readmit(t, owns);
+                }
+                Ok(SearchResult::Pages(hits)) => {
+                    if hits.is_empty() {
+                        // §4.3 case 1: cancel the tuple; release any other
+                        // calls it owned (their values are no longer
+                        // needed by this tuple — other tuples referencing
+                        // them hold their own registrations only if they
+                        // made them, so transfer is unnecessary).
+                        for c in owns {
+                            self.pump.release(c);
+                        }
+                    } else {
+                        // Cases 2 and 3: one patched tuple per hit. The
+                        // first copy inherits ownership of the remaining
+                        // calls; the rest own nothing (§4.4).
+                        for (i, hit) in hits.iter().enumerate() {
+                            let mut t = tuple.clone();
+                            fill(&mut t, call, |col| match col {
+                                PendingCol::Url => Some(Value::Str(hit.url.clone())),
+                                PendingCol::Rank => Some(Value::Int(hit.rank as i64)),
+                                PendingCol::Date => Some(Value::Str(hit.date.clone())),
+                                PendingCol::Count => None,
+                            });
+                            let owns_for_copy =
+                                if i == 0 { owns.clone() } else { Vec::new() };
+                            self.readmit(t, owns_for_copy);
+                        }
+                    }
+                }
+            }
+            if owned_here.is_some() {
+                self.pump.release(call);
+            }
+        }
+        Ok(())
+    }
+
+    /// Put a (possibly still incomplete) patched tuple back.
+    fn readmit(&mut self, tuple: Tuple, owns: Vec<CallId>) {
+        if !tuple.is_incomplete() {
+            debug_assert!(owns.is_empty(), "complete tuple cannot own pending calls");
+            self.ready.push_back(tuple);
+            return;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        for c in tuple.pending_calls() {
+            self.index.entry(c).or_default().push(id);
+        }
+        self.buffered.insert(id, BufTuple { tuple, owns });
+    }
+
+    /// Opportunistically patch any already-completed pending calls.
+    fn drain_completions(&mut self) -> Result<()> {
+        loop {
+            let done: Vec<CallId> = self
+                .index
+                .keys()
+                .filter(|c| self.pump.peek(**c).is_some())
+                .copied()
+                .collect();
+            if done.is_empty() {
+                return Ok(());
+            }
+            for c in done {
+                self.patch(c)?;
+            }
+        }
+    }
+
+    /// Calls we are still waiting on.
+    fn pending_calls(&self) -> Vec<CallId> {
+        self.index.keys().copied().collect()
+    }
+}
+
+/// Replace every placeholder of `call` in `tuple` using `value_for`.
+fn fill(tuple: &mut Tuple, call: CallId, value_for: impl Fn(PendingCol) -> Option<Value>) {
+    for v in tuple.values_mut() {
+        if let Value::Pending(p) = v {
+            if p.call == call {
+                if let Some(new) = value_for(p.col) {
+                    *v = new;
+                }
+            }
+        }
+    }
+}
+
+impl Executor for ReqSyncExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.ready.clear();
+        self.buffered.clear();
+        self.index.clear();
+        self.child_done = false;
+        self.opened = true;
+        self.child.open()?;
+        if self.mode == BufferMode::Full {
+            // The paper's simple implementation: exhaust the child first,
+            // buffering every (incomplete) tuple. Calls complete in the
+            // background while we drain.
+            while let Some(t) = self.child.next()? {
+                self.admit(t);
+            }
+            self.child.close()?;
+            self.child_done = true;
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.ready.pop_front() {
+                return Ok(Some(t));
+            }
+            if !self.child_done {
+                // Streaming mode: keep pulling; complete tuples pass
+                // straight through (§4.1: "tuples that do not depend on
+                // pending ReqPump calls may pass directly through").
+                match self.child.next()? {
+                    Some(t) => {
+                        if !t.is_incomplete() {
+                            return Ok(Some(t));
+                        }
+                        self.admit(t);
+                        self.drain_completions()?;
+                        continue;
+                    }
+                    None => {
+                        self.child.close()?;
+                        self.child_done = true;
+                        continue;
+                    }
+                }
+            }
+            if self.index.is_empty() {
+                return Ok(None);
+            }
+            let pending = self.pending_calls();
+            let done = self.pump.wait_any(&pending)?;
+            self.patch(done)?;
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        // Release every registration still owned by buffered tuples (the
+        // query may have been cut short by a LIMIT above us).
+        for (_, entry) in self.buffered.drain() {
+            for c in entry.owns {
+                self.pump.release(c);
+            }
+        }
+        self.index.clear();
+        self.ready.clear();
+        Ok(())
+    }
+}
+
+impl Drop for ReqSyncExec {
+    fn drop(&mut self) {
+        if self.opened {
+            let _ = self.close();
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Executor unit tests, including direct coverage of the §4.3/§4.4
+//! ReqSync semantics (fill-in / cancellation / n-way generation, copies
+//! carrying other pending calls).
+
+use super::*;
+use crate::plan::{BufferMode, EvBinding, EvSpec, VTableKind};
+use std::sync::Arc;
+use wsq_common::{Column, DataType, Schema, Tuple, Value};
+use wsq_pump::{
+    PageHit, PumpConfig, ReqPump, RequestKind, SearchRequest, SearchResult, SearchService,
+    ServiceReply,
+};
+use wsq_sql::ast::{AggFunc, BinOp, ColumnRef, Expr, Literal};
+
+/// An executor over fixed tuples (reusable mock child).
+fn rows(schema: Schema, tuples: Vec<Vec<Value>>) -> Box<dyn Executor> {
+    Box::new(ValuesExec::new(
+        schema,
+        tuples.into_iter().map(Tuple::new).collect(),
+    ))
+}
+
+fn int_schema(names: &[&str]) -> Schema {
+    Schema::new(names.iter().map(|n| Column::new(*n, DataType::Int)).collect())
+}
+
+fn drain(mut e: Box<dyn Executor>) -> Vec<Tuple> {
+    collect(e.as_mut()).unwrap()
+}
+
+#[test]
+fn filter_project_limit_chain() {
+    let child = rows(
+        int_schema(&["a", "b"]),
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Int(3), Value::Int(30)],
+            vec![Value::Int(4), Value::Int(40)],
+        ],
+    );
+    let filtered = Box::new(
+        FilterExec::new(
+            child,
+            &Expr::binary(BinOp::Gt, Expr::column("a"), Expr::Literal(Literal::Int(1))),
+        )
+        .unwrap(),
+    );
+    let projected = Box::new(
+        ProjectExec::new(
+            filtered,
+            &[(
+                Expr::binary(BinOp::Add, Expr::column("a"), Expr::column("b")),
+                "s".to_string(),
+            )],
+            int_schema(&["s"]),
+        )
+        .unwrap(),
+    );
+    let limited = Box::new(LimitExec::new(projected, 2));
+    let out = drain(limited);
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0].get(0).as_int().unwrap(), 22);
+    assert_eq!(out[1].get(0).as_int().unwrap(), 33);
+}
+
+#[test]
+fn sort_orders_and_is_stable() {
+    let child = rows(
+        int_schema(&["k", "v"]),
+        vec![
+            vec![Value::Int(2), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(2), Value::Int(3)],
+            vec![Value::Int(1), Value::Int(4)],
+        ],
+    );
+    let sorted = Box::new(SortExec::new(child, &[(Expr::column("k"), false)]).unwrap());
+    let out = drain(sorted);
+    let pairs: Vec<(i64, i64)> = out
+        .iter()
+        .map(|t| (t.get(0).as_int().unwrap(), t.get(1).as_int().unwrap()))
+        .collect();
+    // Stable: within equal keys, input order (v=2 before v=4, v=1 before v=3).
+    assert_eq!(pairs, vec![(1, 2), (1, 4), (2, 1), (2, 3)]);
+}
+
+#[test]
+fn sort_by_ordinal_descending() {
+    let child = rows(
+        int_schema(&["x"]),
+        vec![vec![Value::Int(1)], vec![Value::Int(3)], vec![Value::Int(2)]],
+    );
+    let sorted = Box::new(
+        SortExec::new(child, &[(Expr::Literal(Literal::Int(1)), true)]).unwrap(),
+    );
+    let out: Vec<i64> = drain(sorted)
+        .iter()
+        .map(|t| t.get(0).as_int().unwrap())
+        .collect();
+    assert_eq!(out, vec![3, 2, 1]);
+}
+
+#[test]
+fn distinct_removes_duplicates() {
+    let child = rows(
+        int_schema(&["x", "y"]),
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Null, Value::Null],
+            vec![Value::Null, Value::Null],
+        ],
+    );
+    let out = drain(Box::new(DistinctExec::new(child)));
+    assert_eq!(out.len(), 3);
+}
+
+#[test]
+fn aggregate_group_global_and_empty() {
+    // Grouped.
+    let child = rows(
+        int_schema(&["g", "v"]),
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(5)],
+            vec![Value::Int(1), Value::Int(20)],
+            vec![Value::Int(2), Value::Null], // NULL skipped by SUM/AVG
+        ],
+    );
+    let agg = Box::new(
+        AggregateExec::new(
+            child,
+            &[ColumnRef {
+                qualifier: None,
+                name: "g".into(),
+            }],
+            &[
+                (AggFunc::Count, None, "#agg0".into()),
+                (AggFunc::Sum, Some(Expr::column("v")), "#agg1".into()),
+                (AggFunc::Avg, Some(Expr::column("v")), "#agg2".into()),
+                (AggFunc::Min, Some(Expr::column("v")), "#agg3".into()),
+                (AggFunc::Max, Some(Expr::column("v")), "#agg4".into()),
+            ],
+            int_schema(&["g", "#agg0", "#agg1", "#agg2", "#agg3", "#agg4"]),
+        )
+        .unwrap(),
+    );
+    let out = drain(agg);
+    assert_eq!(out.len(), 2);
+    // First-seen group order preserved.
+    assert_eq!(out[0].get(0).as_int().unwrap(), 1);
+    assert_eq!(out[0].get(1).as_int().unwrap(), 2); // COUNT(*)
+    assert_eq!(out[0].get(2).as_int().unwrap(), 30); // SUM
+    assert_eq!(out[0].get(3).as_float().unwrap(), 15.0); // AVG
+    assert_eq!(out[1].get(0).as_int().unwrap(), 2);
+    assert_eq!(out[1].get(2).as_int().unwrap(), 5); // SUM skips NULL
+    assert_eq!(out[1].get(4).as_int().unwrap(), 5); // MIN
+    assert_eq!(out[1].get(5).as_int().unwrap(), 5); // MAX
+
+    // Global aggregate over empty input yields one row.
+    let empty = rows(int_schema(&["v"]), vec![]);
+    let agg = Box::new(
+        AggregateExec::new(
+            empty,
+            &[],
+            &[
+                (AggFunc::Count, None, "#agg0".into()),
+                (AggFunc::Sum, Some(Expr::column("v")), "#agg1".into()),
+            ],
+            int_schema(&["#agg0", "#agg1"]),
+        )
+        .unwrap(),
+    );
+    let out = drain(agg);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].get(0).as_int().unwrap(), 0);
+    assert!(out[0].get(1).is_null());
+
+    // Grouped aggregate over empty input yields no rows.
+    let empty = rows(int_schema(&["g", "v"]), vec![]);
+    let agg = Box::new(
+        AggregateExec::new(
+            empty,
+            &[ColumnRef {
+                qualifier: None,
+                name: "g".into(),
+            }],
+            &[(AggFunc::Count, None, "#agg0".into())],
+            int_schema(&["g", "#agg0"]),
+        )
+        .unwrap(),
+    );
+    assert!(drain(agg).is_empty());
+}
+
+#[test]
+fn nested_loop_join_and_reopen() {
+    let left = rows(
+        int_schema(&["a"]),
+        vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+    );
+    let right = rows(
+        int_schema(&["b"]),
+        vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+    );
+    let mut join = NestedLoopJoinExec::new(
+        left,
+        right,
+        Some(&Expr::binary(BinOp::Eq, Expr::column("a"), Expr::column("b"))),
+    )
+    .unwrap();
+    let out = collect(&mut join).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].values(), &[Value::Int(2), Value::Int(2)]);
+    // Re-open works (joins re-open their inputs when nested).
+    let out2 = collect(&mut join).unwrap();
+    assert_eq!(out2.len(), 1);
+
+    // Cross product (no predicate).
+    let left = rows(int_schema(&["a"]), vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    let right = rows(int_schema(&["b"]), vec![vec![Value::Int(7)]]);
+    let mut cp = NestedLoopJoinExec::new(left, right, None).unwrap();
+    assert_eq!(collect(&mut cp).unwrap().len(), 2);
+}
+
+/// A scripted search service for ReqSync semantics tests.
+struct Scripted;
+
+impl SearchService for Scripted {
+    fn execute(&self, req: &SearchRequest) -> ServiceReply {
+        let result = match &req.kind {
+            RequestKind::Count => SearchResult::Count(req.expr.len() as u64),
+            RequestKind::Pages { max_rank } => {
+                // "none" → 0 hits; "one" → 1; everything else → max_rank.
+                let n = if req.expr.contains("none") {
+                    0
+                } else if req.expr.contains("one") {
+                    1
+                } else {
+                    *max_rank
+                };
+                SearchResult::Pages(
+                    (1..=n)
+                        .map(|rank| PageHit {
+                            url: format!("www.{}/{rank}", req.expr.replace(' ', "-")),
+                            rank,
+                            date: "1999-10-01".into(),
+                        })
+                        .collect(),
+                )
+            }
+        };
+        ServiceReply::instant(result)
+    }
+}
+
+fn pump() -> Arc<ReqPump> {
+    let p = ReqPump::new(PumpConfig::default());
+    p.register_service("AV", Arc::new(Scripted));
+    p
+}
+
+fn pages_spec(alias: &str) -> EvSpec {
+    EvSpec {
+        kind: VTableKind::WebPages,
+        engine: "AV".into(),
+        alias: alias.into(),
+        template: None,
+        bindings: vec![EvBinding::Column(ColumnRef {
+            qualifier: None,
+            name: "term".into(),
+        })],
+        rank_limit: 3,
+        supports_near: true,
+    }
+}
+
+/// Dependent join of terms against an async WebPages scan, synchronized.
+fn async_pages_pipeline(
+    terms: &[&str],
+    pump: &Arc<ReqPump>,
+    mode: BufferMode,
+) -> Vec<Tuple> {
+    let schema = Schema::new(vec![Column::new("term", DataType::Varchar)]);
+    let left = rows(
+        schema,
+        terms.iter().map(|t| vec![Value::from(*t)]).collect(),
+    );
+    let spec = pages_spec("W");
+    let scan = Box::new(AEVScanExec::new(spec.clone(), pump.clone()));
+    let dj = Box::new(DependentJoinExec::new(left, scan, &spec).unwrap());
+    let sync = Box::new(ReqSyncExec::new(dj, pump.clone(), mode));
+    drain(sync)
+}
+
+#[test]
+fn reqsync_generation_cancellation_and_fill() {
+    for mode in [BufferMode::Full, BufferMode::Streaming] {
+        let p = pump();
+        // "many" → 3 hits (generation), "one" → 1 (fill), "none" → 0
+        // (cancellation).
+        let out = async_pages_pipeline(&["many", "one", "none"], &p, mode);
+        assert_eq!(out.len(), 4, "{mode:?}");
+        let urls: Vec<&str> = out
+            .iter()
+            .map(|t| {
+                // term, SearchExp, T1, URL, Rank, Date
+                t.get(3).as_str().unwrap()
+            })
+            .collect();
+        assert!(urls.iter().filter(|u| u.contains("many")).count() == 3);
+        assert!(urls.iter().filter(|u| u.contains("one")).count() == 1);
+        assert!(!urls.iter().any(|u| u.contains("none")));
+        // Ranks filled as integers.
+        for t in &out {
+            let rank = t.get(4).as_int().unwrap();
+            assert!((1..=3).contains(&rank));
+            assert!(!t.is_incomplete());
+        }
+        assert_eq!(p.live_calls(), 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn reqsync_copies_propagate_other_pending_calls() {
+    // §4.4: a tuple with placeholders from TWO calls; when the first
+    // completes with n rows, the copies must still resolve the second.
+    let p = pump();
+    let schema = Schema::new(vec![Column::new("term", DataType::Varchar)]);
+    let left = rows(schema, vec![vec![Value::from("many")]]);
+
+    let spec_a = pages_spec("A");
+    let scan_a = Box::new(AEVScanExec::new(spec_a.clone(), p.clone()));
+    let dj_a = Box::new(DependentJoinExec::new(left, scan_a, &spec_a).unwrap());
+
+    let mut spec_b = pages_spec("B");
+    spec_b.rank_limit = 2;
+    // B binds on the same original term column.
+    let scan_b = Box::new(AEVScanExec::new(spec_b.clone(), p.clone()));
+    let dj_b = Box::new(DependentJoinExec::new(dj_a, scan_b, &spec_b).unwrap());
+
+    let sync = Box::new(ReqSyncExec::new(dj_b, p.clone(), BufferMode::Full));
+    let out = drain(sync);
+    // 3 hits from A × 2 hits from B... but B issued ONE call per A-tuple
+    // (the optimistic tuple), so: 1 optimistic A-tuple → B joins once →
+    // 1 buffered tuple with placeholders from both calls → A patches to 3
+    // copies, each then patched by B's 2-hit result → 3 × 2 = 6.
+    assert_eq!(out.len(), 6);
+    for t in &out {
+        assert!(!t.is_incomplete());
+    }
+    assert_eq!(p.live_calls(), 0);
+}
+
+#[test]
+fn reqsync_passthrough_of_complete_tuples() {
+    // Streaming mode: tuples with no placeholders flow straight through.
+    let p = pump();
+    let child = rows(
+        int_schema(&["x"]),
+        vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+    );
+    let mut sync = ReqSyncExec::new(child, p.clone(), BufferMode::Streaming);
+    sync.open().unwrap();
+    assert_eq!(sync.next().unwrap().unwrap().get(0).as_int().unwrap(), 1);
+    assert_eq!(sync.next().unwrap().unwrap().get(0).as_int().unwrap(), 2);
+    assert!(sync.next().unwrap().is_none());
+}
+
+#[test]
+fn evscan_standalone_with_constant_bindings() {
+    // Synchronous EVScan driven by a Values(1 empty row) dependent join.
+    let spec = EvSpec {
+        kind: VTableKind::WebCount,
+        engine: "AV".into(),
+        alias: "WC".into(),
+        template: None,
+        bindings: vec![EvBinding::Const(Value::from("hello"))],
+        rank_limit: 19,
+        supports_near: true,
+    };
+    let left = rows(Schema::empty(), vec![vec![]]);
+    let scan = Box::new(EVScanExec::new(spec.clone(), Arc::new(Scripted)));
+    let dj = Box::new(DependentJoinExec::new(left, scan, &spec).unwrap());
+    let out = drain(dj);
+    assert_eq!(out.len(), 1);
+    // SearchExp, T1, Count
+    assert_eq!(out[0].get(0).as_str().unwrap(), "hello");
+    assert_eq!(out[0].get(1).as_str().unwrap(), "hello");
+    assert_eq!(out[0].get(2).as_int().unwrap(), 5);
+}
+
+#[test]
+fn aevscan_rejects_pending_bindings() {
+    let p = pump();
+    let spec = pages_spec("W");
+    let mut scan = AEVScanExec::new(spec, p);
+    scan.rebind(&[Value::Pending(wsq_common::Placeholder {
+        call: wsq_common::CallId(1),
+        col: wsq_common::PendingCol::Url,
+    })])
+    .unwrap();
+    scan.open().unwrap();
+    let err = scan.next().unwrap_err();
+    assert!(err.to_string().contains("placeholder"));
+}

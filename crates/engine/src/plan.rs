@@ -1,0 +1,722 @@
+//! Physical query plans.
+//!
+//! A [`PhysPlan`] is a pure tree: expressions reference columns by
+//! (qualified) name and are resolved to offsets only when executors are
+//! built. This makes the paper's plan transformations (Section 4.5 —
+//! ReqSync Insertion, Percolation, Consolidation) straightforward tree
+//! surgery, independently testable from execution.
+
+use std::fmt;
+use wsq_common::{Column, DataType, Schema, Value};
+use wsq_sql::ast::{AggFunc, ColumnRef, Expr};
+
+/// Whether a query runs with conventional sequential iteration or with the
+/// paper's asynchronous iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Conventional: every external call blocks the query processor
+    /// (`EVScan` + [`wsq_pump::blocking_execute`]).
+    Synchronous,
+    /// Asynchronous iteration: `AEVScan` + `ReqSync` + ReqPump.
+    #[default]
+    Asynchronous,
+    /// Thread-per-request parallel dependent joins — the heavyweight
+    /// alternative the paper argues against (§4.2/§4.5.4) and proposes to
+    /// compare against as future work. Calls overlap within one join but
+    /// joins serialize against each other.
+    ParallelJoins,
+}
+
+/// How ReqSync operators are placed during asyncification (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// Insertion + full percolation + consolidation (the paper's
+    /// algorithm): maximizes concurrent external calls.
+    #[default]
+    Full,
+    /// Insertion only: one ReqSync pinned directly above each dependent
+    /// join (the conservative Figure 7(b)-style placement; blocks between
+    /// joins).
+    InsertionOnly,
+}
+
+/// ReqSync's buffering discipline (§4.1 discusses both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BufferMode {
+    /// Buffer the entire child output before emitting (the paper's simple
+    /// implementation).
+    #[default]
+    Full,
+    /// Pass already-complete tuples through without draining the child
+    /// first.
+    Streaming,
+}
+
+/// Which virtual table a scan implements (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VTableKind {
+    /// `WebCount(SearchExp, T1..Tn, Count)`.
+    WebCount,
+    /// `WebPages(SearchExp, T1..Tn, URL, Rank, Date)`.
+    WebPages,
+}
+
+/// How a virtual input column (`T1`…`Tn`) is bound.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvBinding {
+    /// Bound to a constant from the `WHERE` clause.
+    Const(Value),
+    /// Bound by equi-join to a column of the tables to the left in the
+    /// `FROM` clause (supplied via the dependent join).
+    Column(ColumnRef),
+}
+
+/// Specification of an external virtual table scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvSpec {
+    /// WebCount or WebPages.
+    pub kind: VTableKind,
+    /// Destination engine (registry key, e.g. `"AV"`).
+    pub engine: String,
+    /// Alias other clauses qualify this table's columns with.
+    pub alias: String,
+    /// Explicit `SearchExp`, or `None` for the default template.
+    pub template: Option<String>,
+    /// Bindings for `T1..Tn`, in order.
+    pub bindings: Vec<EvBinding>,
+    /// Upper bound on `Rank` (WebPages only; the default guard is 19,
+    /// from the paper's `Rank < 20`).
+    pub rank_limit: u32,
+    /// Does the engine support `NEAR`? Decides the default template form.
+    pub supports_near: bool,
+}
+
+impl EvSpec {
+    /// Output schema of this scan (qualified by the alias).
+    pub fn schema(&self) -> Schema {
+        let mut cols = vec![Column::qualified(
+            &self.alias,
+            "SearchExp",
+            DataType::Varchar,
+        )];
+        for i in 1..=self.bindings.len() {
+            cols.push(Column::qualified(&self.alias, format!("T{i}"), DataType::Varchar));
+        }
+        match self.kind {
+            VTableKind::WebCount => {
+                cols.push(Column::qualified(&self.alias, "Count", DataType::Int));
+            }
+            VTableKind::WebPages => {
+                cols.push(Column::qualified(&self.alias, "URL", DataType::Varchar));
+                cols.push(Column::qualified(&self.alias, "Rank", DataType::Int));
+                cols.push(Column::qualified(&self.alias, "Date", DataType::Varchar));
+            }
+        }
+        Schema::new(cols)
+    }
+
+    /// Qualified names of the externally-supplied columns — the attribute
+    /// set `ReqSync.A` that placeholders stand in for (§4.5.2).
+    pub fn external_attrs(&self) -> Vec<ColumnRef> {
+        let mk = |name: &str| ColumnRef {
+            qualifier: Some(self.alias.clone()),
+            name: name.to_string(),
+        };
+        match self.kind {
+            VTableKind::WebCount => vec![mk("Count")],
+            VTableKind::WebPages => vec![mk("URL"), mk("Rank"), mk("Date")],
+        }
+    }
+
+    /// The `SearchExp` template, explicit or defaulted.
+    ///
+    /// Default is `"%1 near %2 near … near %n"` for engines with `NEAR`,
+    /// `"%1 %2 … %n"` otherwise (paper §3, footnote 1).
+    pub fn effective_template(&self) -> String {
+        if let Some(t) = &self.template {
+            return t.clone();
+        }
+        let sep = if self.supports_near { " near " } else { " " };
+        (1..=self.bindings.len())
+            .map(|i| format!("%{i}"))
+            .collect::<Vec<_>>()
+            .join(sep)
+    }
+
+    /// Instantiate the template with bound values: `%i` is replaced by the
+    /// i-th value, quoted when it contains whitespace (multi-word terms
+    /// must reach the engine as phrases).
+    pub fn instantiate(&self, values: &[Value]) -> String {
+        let mut out = self.effective_template();
+        // Replace in descending index order so %10 is not clobbered by %1.
+        for i in (1..=values.len()).rev() {
+            let raw = match &values[i - 1] {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            };
+            let clean = raw.replace('"', "");
+            let term = if clean.contains(char::is_whitespace) {
+                format!("\"{clean}\"")
+            } else {
+                clean
+            };
+            out = out.replace(&format!("%{i}"), &term);
+        }
+        out
+    }
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysPlan {
+    /// Sequential scan of a stored table under an alias.
+    SeqScan {
+        /// Stored table name.
+        table: String,
+        /// Alias qualifying output columns.
+        alias: String,
+        /// Output schema (already qualified).
+        schema: Schema,
+    },
+    /// B+-tree equality lookup on an indexed column.
+    IndexScan {
+        /// Stored table name.
+        table: String,
+        /// Alias qualifying output columns.
+        alias: String,
+        /// Indexed column.
+        column: String,
+        /// Equality key.
+        key: Value,
+        /// Output schema (already qualified).
+        schema: Schema,
+    },
+    /// Literal rows (used as the left input of a dependent join when a
+    /// virtual table has only constant bindings).
+    Values {
+        /// Output schema.
+        schema: Schema,
+        /// The rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Synchronous external virtual table scan.
+    EVScan(EvSpec),
+    /// Asynchronous external virtual table scan (returns placeholder
+    /// tuples immediately).
+    AEVScan(EvSpec),
+    /// Selection.
+    Filter {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Projection with computed expressions and output names.
+    Project {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// `(expression, output name)` pairs.
+        items: Vec<(Expr, String)>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Dependent join: right child must be an EVScan/AEVScan (or a ReqSync
+    /// over one); each left tuple re-binds the right side (§4, FLMS99).
+    DependentJoin {
+        /// Outer input.
+        left: Box<PhysPlan>,
+        /// Inner (virtual-table) input.
+        right: Box<PhysPlan>,
+    },
+    /// Thread-per-request parallel dependent join over a virtual table
+    /// ([`ExecutionMode::ParallelJoins`]).
+    ParallelDependentJoin {
+        /// Outer input.
+        left: Box<PhysPlan>,
+        /// The inner virtual scan.
+        spec: EvSpec,
+        /// Worker-thread cap.
+        threads: usize,
+    },
+    /// Inner nested-loop join with a predicate.
+    NestedLoopJoin {
+        /// Outer input.
+        left: Box<PhysPlan>,
+        /// Inner input.
+        right: Box<PhysPlan>,
+        /// Join predicate.
+        predicate: Expr,
+    },
+    /// Cross product.
+    CrossProduct {
+        /// Outer input.
+        left: Box<PhysPlan>,
+        /// Inner input.
+        right: Box<PhysPlan>,
+    },
+    /// Sort (materializing).
+    Sort {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// `(key expression, descending)` pairs.
+        keys: Vec<(Expr, bool)>,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Grouping columns.
+        group_by: Vec<ColumnRef>,
+        /// Aggregate computations: `(function, argument, output name)`.
+        /// `None` argument = `COUNT(*)`.
+        aggs: Vec<(AggFunc, Option<Expr>, String)>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<PhysPlan>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// Maximum rows.
+        n: u64,
+    },
+    /// Request synchronizer: buffers incomplete tuples and patches them as
+    /// ReqPump calls complete (§4.1).
+    ReqSync {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// The attribute set `ReqSync.A` this operator fills in.
+        attrs: Vec<ColumnRef>,
+        /// Buffering discipline.
+        mode: BufferMode,
+    },
+}
+
+impl PhysPlan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> Schema {
+        match self {
+            PhysPlan::SeqScan { schema, .. }
+            | PhysPlan::IndexScan { schema, .. }
+            | PhysPlan::Values { schema, .. } => schema.clone(),
+            PhysPlan::EVScan(spec) | PhysPlan::AEVScan(spec) => spec.schema(),
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Distinct { input }
+            | PhysPlan::Limit { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::ReqSync { input, .. } => input.schema(),
+            PhysPlan::Project { schema, .. } => schema.clone(),
+            PhysPlan::DependentJoin { left, right }
+            | PhysPlan::NestedLoopJoin { left, right, .. }
+            | PhysPlan::CrossProduct { left, right } => left.schema().join(&right.schema()),
+            PhysPlan::ParallelDependentJoin { left, spec, .. } => {
+                left.schema().join(&spec.schema())
+            }
+            PhysPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.schema();
+                let mut cols = Vec::new();
+                for g in group_by {
+                    let dt = in_schema
+                        .try_resolve(g.qualifier.as_deref(), &g.name)
+                        .map(|i| in_schema.column(i).dtype)
+                        .unwrap_or(DataType::Varchar);
+                    cols.push(Column::new(g.name.clone(), dt));
+                }
+                for (func, arg, name) in aggs {
+                    let dt = match func {
+                        AggFunc::Count => DataType::Int,
+                        AggFunc::Avg => DataType::Float,
+                        _ => arg
+                            .as_ref()
+                            .and_then(|a| crate::expr::infer_type(a, &in_schema))
+                            .unwrap_or(DataType::Int),
+                    };
+                    cols.push(Column::new(name.clone(), dt));
+                }
+                Schema::new(cols)
+            }
+        }
+    }
+
+    /// Number of plan nodes (for tests and stats).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            PhysPlan::SeqScan { .. }
+            | PhysPlan::IndexScan { .. }
+            | PhysPlan::Values { .. }
+            | PhysPlan::EVScan(_)
+            | PhysPlan::AEVScan(_) => 0,
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Sort { input, .. }
+            | PhysPlan::Aggregate { input, .. }
+            | PhysPlan::Distinct { input }
+            | PhysPlan::Limit { input, .. }
+            | PhysPlan::ReqSync { input, .. } => input.node_count(),
+            PhysPlan::ParallelDependentJoin { left, .. } => left.node_count(),
+            PhysPlan::DependentJoin { left, right }
+            | PhysPlan::NestedLoopJoin { left, right, .. }
+            | PhysPlan::CrossProduct { left, right } => {
+                left.node_count() + right.node_count()
+            }
+        }
+    }
+
+    /// Count nodes matching a predicate.
+    pub fn count_nodes(&self, pred: &dyn Fn(&PhysPlan) -> bool) -> usize {
+        let self_count = usize::from(pred(self));
+        self_count
+            + match self {
+                PhysPlan::SeqScan { .. }
+                | PhysPlan::IndexScan { .. }
+                | PhysPlan::Values { .. }
+                | PhysPlan::EVScan(_)
+                | PhysPlan::AEVScan(_) => 0,
+                PhysPlan::Filter { input, .. }
+                | PhysPlan::Project { input, .. }
+                | PhysPlan::Sort { input, .. }
+                | PhysPlan::Aggregate { input, .. }
+                | PhysPlan::Distinct { input }
+                | PhysPlan::Limit { input, .. }
+                | PhysPlan::ReqSync { input, .. } => input.count_nodes(pred),
+                PhysPlan::ParallelDependentJoin { left, .. } => left.count_nodes(pred),
+                PhysPlan::DependentJoin { left, right }
+                | PhysPlan::NestedLoopJoin { left, right, .. }
+                | PhysPlan::CrossProduct { left, right } => {
+                    left.count_nodes(pred) + right.count_nodes(pred)
+                }
+            }
+    }
+
+    /// Render the plan as an indented tree (EXPLAIN / the paper's figures).
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        self.fmt_tree(&mut out, 0);
+        out
+    }
+
+    fn fmt_tree(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            PhysPlan::SeqScan { table, alias, .. } => {
+                if table.eq_ignore_ascii_case(alias) {
+                    out.push_str(&format!("{pad}Scan: {table}\n"));
+                } else {
+                    out.push_str(&format!("{pad}Scan: {table} AS {alias}\n"));
+                }
+            }
+            PhysPlan::IndexScan {
+                table,
+                alias,
+                column,
+                key,
+                ..
+            } => {
+                let alias_part = if table.eq_ignore_ascii_case(alias) {
+                    String::new()
+                } else {
+                    format!(" AS {alias}")
+                };
+                out.push_str(&format!(
+                    "{pad}IndexScan: {table}{alias_part} ({column} = '{key}')\n"
+                ));
+            }
+            PhysPlan::Values { rows, .. } => {
+                out.push_str(&format!("{pad}Values: {} row(s)\n", rows.len()));
+            }
+            PhysPlan::EVScan(spec) => {
+                out.push_str(&format!("{pad}EVScan: {}\n", spec_text(spec)));
+            }
+            PhysPlan::AEVScan(spec) => {
+                out.push_str(&format!("{pad}AEVScan: {}\n", spec_text(spec)));
+            }
+            PhysPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Select: {predicate}\n"));
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Project { input, items, .. } => {
+                let cols: Vec<String> = items
+                    .iter()
+                    .map(|(e, name)| {
+                        let es = e.to_string();
+                        if &es == name {
+                            es
+                        } else {
+                            format!("{es} AS {name}")
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!("{pad}Project: {}\n", cols.join(", ")));
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::DependentJoin { left, right } => {
+                let bind = dependent_join_label(right);
+                out.push_str(&format!("{pad}Dependent Join: {bind}\n"));
+                left.fmt_tree(out, depth + 1);
+                right.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::ParallelDependentJoin { left, spec, threads } => {
+                out.push_str(&format!(
+                    "{pad}Parallel Dependent Join (threads={threads}): {}\n",
+                    spec_text(spec)
+                ));
+                left.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                out.push_str(&format!("{pad}Join: {predicate}\n"));
+                left.fmt_tree(out, depth + 1);
+                right.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::CrossProduct { left, right } => {
+                out.push_str(&format!("{pad}Cross-Product\n"));
+                left.fmt_tree(out, depth + 1);
+                right.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(e, desc)| {
+                        format!("{e}{}", if *desc { " DESC" } else { "" })
+                    })
+                    .collect();
+                out.push_str(&format!("{pad}Sort: {}\n", ks.join(", ")));
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let gs: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
+                let asx: Vec<String> = aggs
+                    .iter()
+                    .map(|(f, a, _)| match a {
+                        Some(e) => format!("{f}({e})"),
+                        None => format!("{f}(*)"),
+                    })
+                    .collect();
+                if gs.is_empty() {
+                    out.push_str(&format!("{pad}Aggregate: {}\n", asx.join(", ")));
+                } else {
+                    out.push_str(&format!(
+                        "{pad}Aggregate: {} GROUP BY {}\n",
+                        asx.join(", "),
+                        gs.join(", ")
+                    ));
+                }
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit: {n}\n"));
+                input.fmt_tree(out, depth + 1);
+            }
+            PhysPlan::ReqSync { input, attrs, .. } => {
+                let al: Vec<String> = attrs.iter().map(|a| a.to_string()).collect();
+                out.push_str(&format!("{pad}ReqSync [{}]\n", al.join(", ")));
+                input.fmt_tree(out, depth + 1);
+            }
+        }
+    }
+}
+
+fn spec_text(spec: &EvSpec) -> String {
+    let kind = match spec.kind {
+        VTableKind::WebCount => "WebCount",
+        VTableKind::WebPages => "WebPages",
+    };
+    let mut conds = Vec::new();
+    for (i, b) in spec.bindings.iter().enumerate() {
+        match b {
+            EvBinding::Const(v) => conds.push(format!("T{} = '{v}'", i + 1)),
+            EvBinding::Column(c) => conds.push(format!("T{} = {c}", i + 1)),
+        }
+    }
+    if spec.kind == VTableKind::WebPages {
+        conds.push(format!("Rank <= {}", spec.rank_limit));
+    }
+    format!("{kind}@{} AS {} ({})", spec.engine, spec.alias, conds.join(", "))
+}
+
+fn dependent_join_label(right: &PhysPlan) -> String {
+    // Describe the binding the inner scan receives (paper figures label
+    // dependent joins "Sigs.Name + WebCount.T1").
+    fn find_spec(p: &PhysPlan) -> Option<&EvSpec> {
+        match p {
+            PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => Some(s),
+            PhysPlan::Filter { input, .. } | PhysPlan::ReqSync { input, .. } => find_spec(input),
+            _ => None,
+        }
+    }
+    match find_spec(right) {
+        Some(spec) => {
+            let parts: Vec<String> = spec
+                .bindings
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| match b {
+                    EvBinding::Column(c) => {
+                        Some(format!("{c} -> {}.T{}", spec.alias, i + 1))
+                    }
+                    EvBinding::Const(_) => None,
+                })
+                .collect();
+            if parts.is_empty() {
+                "(constant bindings)".to_string()
+            } else {
+                parts.join(", ")
+            }
+        }
+        None => String::new(),
+    }
+}
+
+impl fmt::Display for PhysPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: VTableKind, near: bool) -> EvSpec {
+        EvSpec {
+            kind,
+            engine: "AV".into(),
+            alias: "WebCount".into(),
+            template: None,
+            bindings: vec![
+                EvBinding::Column(ColumnRef {
+                    qualifier: Some("States".into()),
+                    name: "Name".into(),
+                }),
+                EvBinding::Const(Value::from("four corners")),
+            ],
+            rank_limit: 19,
+            supports_near: near,
+        }
+    }
+
+    #[test]
+    fn default_template_depends_on_near_support() {
+        assert_eq!(spec(VTableKind::WebCount, true).effective_template(), "%1 near %2");
+        assert_eq!(spec(VTableKind::WebCount, false).effective_template(), "%1 %2");
+    }
+
+    #[test]
+    fn instantiation_quotes_multiword_terms() {
+        let s = spec(VTableKind::WebCount, true);
+        let expr = s.instantiate(&[Value::from("New Mexico"), Value::from("four corners")]);
+        assert_eq!(expr, "\"New Mexico\" near \"four corners\"");
+        let expr = s.instantiate(&[Value::from("Utah"), Value::from("skiing")]);
+        assert_eq!(expr, "Utah near skiing");
+    }
+
+    #[test]
+    fn instantiation_handles_ten_plus_params() {
+        let mut s = spec(VTableKind::WebCount, false);
+        s.template = Some("%10 %1".to_string());
+        s.bindings = (0..10)
+            .map(|i| EvBinding::Const(Value::Int(i)))
+            .collect();
+        let vals: Vec<Value> = (0..10).map(Value::Int).collect();
+        assert_eq!(s.instantiate(&vals), "9 0");
+    }
+
+    #[test]
+    fn explicit_template_wins() {
+        let mut s = spec(VTableKind::WebCount, true);
+        s.template = Some("%1 AND %2".into());
+        assert_eq!(s.effective_template(), "%1 AND %2");
+    }
+
+    #[test]
+    fn schemas_by_kind() {
+        let s = spec(VTableKind::WebCount, true).schema();
+        assert_eq!(
+            s.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["SearchExp", "T1", "T2", "Count"]
+        );
+        let s = spec(VTableKind::WebPages, true).schema();
+        assert_eq!(
+            s.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            vec!["SearchExp", "T1", "T2", "URL", "Rank", "Date"]
+        );
+    }
+
+    #[test]
+    fn external_attrs_are_the_placeholder_columns() {
+        let a = spec(VTableKind::WebCount, true).external_attrs();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].to_string(), "WebCount.Count");
+        let a = spec(VTableKind::WebPages, true).external_attrs();
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn display_renders_a_paper_like_tree() {
+        let plan = PhysPlan::Sort {
+            keys: vec![(Expr::column("Count"), true)],
+            input: Box::new(PhysPlan::ReqSync {
+                attrs: spec(VTableKind::WebCount, true).external_attrs(),
+                mode: BufferMode::Full,
+                input: Box::new(PhysPlan::DependentJoin {
+                    left: Box::new(PhysPlan::SeqScan {
+                        table: "Sigs".into(),
+                        alias: "Sigs".into(),
+                        schema: Schema::new(vec![Column::qualified(
+                            "Sigs",
+                            "Name",
+                            DataType::Varchar,
+                        )]),
+                    }),
+                    right: Box::new(PhysPlan::AEVScan(spec(VTableKind::WebCount, true))),
+                }),
+            }),
+        };
+        let text = plan.display();
+        assert!(text.contains("Sort: Count DESC"));
+        assert!(text.contains("ReqSync [WebCount.Count]"));
+        assert!(text.contains("Dependent Join: States.Name -> WebCount.T1"));
+        assert!(text.contains("AEVScan: WebCount@AV"));
+        // Indentation shows tree depth.
+        assert!(text.contains("\n  ReqSync"));
+        assert!(text.contains("\n      Scan: Sigs"));
+    }
+
+    #[test]
+    fn schema_of_joins_concatenates() {
+        let left = PhysPlan::SeqScan {
+            table: "A".into(),
+            alias: "A".into(),
+            schema: Schema::new(vec![Column::qualified("A", "x", DataType::Int)]),
+        };
+        let right = PhysPlan::SeqScan {
+            table: "B".into(),
+            alias: "B".into(),
+            schema: Schema::new(vec![Column::qualified("B", "y", DataType::Int)]),
+        };
+        let j = PhysPlan::CrossProduct {
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+        assert_eq!(j.schema().len(), 2);
+        assert_eq!(j.node_count(), 3);
+    }
+}

@@ -1,0 +1,322 @@
+//! Property tests for the asynchronous-iteration plan transformation:
+//! for *arbitrary* plan trees (including bushy shapes the SQL planner
+//! never builds), asyncification must preserve the safety invariants that
+//! make placeholder execution sound.
+//!
+//! Invariants checked (derived from the clash rules of §4.5.2):
+//!
+//! 1. No synchronous `EVScan` survives; their count becomes the
+//!    `AEVScan` count.
+//! 2. At the root, every `AEVScan` is *covered* by a `ReqSync` (no
+//!    placeholder can escape the plan).
+//! 3. Order/cardinality-sensitive operators (`Sort`, `Aggregate`,
+//!    `Distinct`, `Limit`) never see uncovered placeholders.
+//! 4. No `Filter` predicate reads an attribute of an uncovered `AEVScan`
+//!    in its own subtree.
+//! 5. Dependent-join bindings never read uncovered placeholder
+//!    attributes of their outer side.
+//! 6. The transformation is idempotent.
+
+use proptest::prelude::*;
+use wsq_common::{Column, DataType, Schema};
+use wsq_engine::asyncify;
+use wsq_engine::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, VTableKind};
+use wsq_sql::ast::{BinOp, ColumnRef, Expr};
+
+/// Tables available to the generator (name, columns).
+const TABLES: &[(&str, &[&str])] = &[
+    ("States", &["Name", "Population"]),
+    ("Sigs", &["Name"]),
+    ("R", &["N"]),
+];
+
+fn scan(i: usize) -> PhysPlan {
+    let (name, cols) = TABLES[i % TABLES.len()];
+    PhysPlan::SeqScan {
+        table: name.to_string(),
+        alias: name.to_string(),
+        schema: Schema::new(
+            cols.iter()
+                .map(|c| Column::qualified(name, *c, DataType::Varchar))
+                .collect(),
+        ),
+    }
+}
+
+/// A random plan tree. `vt` counts virtual scans so each gets a unique
+/// alias.
+fn arb_plan(depth: u32) -> BoxedStrategy<PhysPlan> {
+    let leaf = (0..TABLES.len()).prop_map(scan).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = arb_plan(depth - 1);
+    prop_oneof![
+        2 => leaf,
+        // Dependent join with a fresh virtual scan bound to the leftmost
+        // available column of the outer subtree.
+        3 => (inner.clone(), any::<u8>(), any::<bool>()).prop_map(|(left, salt, pages)| {
+            let left_schema = left.schema();
+            let bind_col = left_schema.column(0).clone();
+            let alias = format!("V{salt}");
+            let spec = EvSpec {
+                kind: if pages { VTableKind::WebPages } else { VTableKind::WebCount },
+                engine: "AV".into(),
+                alias,
+                template: None,
+                bindings: vec![EvBinding::Column(ColumnRef {
+                    qualifier: bind_col.qualifier.clone(),
+                    name: bind_col.name.clone(),
+                })],
+                rank_limit: 3,
+                supports_near: true,
+            };
+            PhysPlan::DependentJoin {
+                left: Box::new(left),
+                right: Box::new(PhysPlan::EVScan(spec)),
+            }
+        }),
+        // Filter: either on a base column or on a virtual attribute of
+        // the subtree (the latter exercises carried selections).
+        2 => (inner.clone(), any::<bool>()).prop_map(|(input, on_attr)| {
+            let attr = if on_attr {
+                first_vattr(&input)
+            } else {
+                None
+            };
+            let target = attr.unwrap_or_else(|| {
+                let s = input.schema();
+                let c = s.column(0);
+                ColumnRef { qualifier: c.qualifier.clone(), name: c.name.clone() }
+            });
+            PhysPlan::Filter {
+                predicate: Expr::binary(
+                    BinOp::NotEq,
+                    Expr::Column(target),
+                    Expr::Literal(wsq_sql::ast::Literal::Int(0)),
+                ),
+                input: Box::new(input),
+            }
+        }),
+        // Joins.
+        2 => (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(l, r, cross)| {
+            if cross {
+                PhysPlan::CrossProduct { left: Box::new(l), right: Box::new(r) }
+            } else {
+                let lc = l.schema().column(0).clone();
+                let rc = r.schema().column(0).clone();
+                PhysPlan::NestedLoopJoin {
+                    predicate: Expr::binary(
+                        BinOp::Eq,
+                        Expr::Column(ColumnRef { qualifier: lc.qualifier.clone(), name: lc.name }),
+                        Expr::Column(ColumnRef { qualifier: rc.qualifier.clone(), name: rc.name }),
+                    ),
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+        }),
+        // Order/cardinality-sensitive wrappers.
+        1 => inner.clone().prop_map(|input| {
+            let c = input.schema().column(0).clone();
+            PhysPlan::Sort {
+                keys: vec![(
+                    Expr::Column(ColumnRef { qualifier: c.qualifier.clone(), name: c.name }),
+                    true,
+                )],
+                input: Box::new(input),
+            }
+        }),
+        1 => inner.clone().prop_map(|input| PhysPlan::Distinct { input: Box::new(input) }),
+        1 => inner.prop_map(|input| PhysPlan::Limit { n: 7, input: Box::new(input) }),
+    ]
+    .boxed()
+}
+
+/// The first virtual attribute (e.g. `V3.Count`) found in the subtree.
+fn first_vattr(plan: &PhysPlan) -> Option<ColumnRef> {
+    match plan {
+        PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => s.external_attrs().into_iter().next(),
+        PhysPlan::SeqScan { .. } | PhysPlan::IndexScan { .. } | PhysPlan::Values { .. } => None,
+        PhysPlan::Filter { input, .. }
+        | PhysPlan::Project { input, .. }
+        | PhysPlan::Sort { input, .. }
+        | PhysPlan::Aggregate { input, .. }
+        | PhysPlan::Distinct { input }
+        | PhysPlan::Limit { input, .. }
+        | PhysPlan::ReqSync { input, .. } => first_vattr(input),
+        PhysPlan::DependentJoin { left, right }
+        | PhysPlan::NestedLoopJoin { left, right, .. }
+        | PhysPlan::CrossProduct { left, right } => {
+            first_vattr(right).or_else(|| first_vattr(left))
+        }
+        PhysPlan::ParallelDependentJoin { left, .. } => first_vattr(left),
+    }
+}
+
+/// Attributes of AEVScans in `plan` NOT covered by any ReqSync inside
+/// `plan` itself.
+fn uncovered_attrs(plan: &PhysPlan) -> Vec<ColumnRef> {
+    match plan {
+        PhysPlan::ReqSync { .. } => vec![], // everything below is covered
+        PhysPlan::AEVScan(s) => s.external_attrs(),
+        PhysPlan::EVScan(s) => s.external_attrs(), // shouldn't remain, but count it
+        PhysPlan::SeqScan { .. } | PhysPlan::IndexScan { .. } | PhysPlan::Values { .. } => vec![],
+        PhysPlan::Filter { input, .. }
+        | PhysPlan::Project { input, .. }
+        | PhysPlan::Sort { input, .. }
+        | PhysPlan::Aggregate { input, .. }
+        | PhysPlan::Distinct { input }
+        | PhysPlan::Limit { input, .. } => uncovered_attrs(input),
+        PhysPlan::DependentJoin { left, right }
+        | PhysPlan::NestedLoopJoin { left, right, .. }
+        | PhysPlan::CrossProduct { left, right } => {
+            let mut v = uncovered_attrs(left);
+            v.extend(uncovered_attrs(right));
+            v
+        }
+        // A parallel dependent join resolves its own calls internally.
+        PhysPlan::ParallelDependentJoin { left, .. } => uncovered_attrs(left),
+    }
+}
+
+fn refs_any(expr: &Expr, attrs: &[ColumnRef]) -> bool {
+    expr.columns().iter().any(|c| {
+        attrs.iter().any(|a| {
+            a.name.eq_ignore_ascii_case(&c.name)
+                && match (&a.qualifier, &c.qualifier) {
+                    (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),
+                    _ => true,
+                }
+        })
+    })
+}
+
+/// Walk the transformed plan checking invariants 3–5.
+fn check_safety(plan: &PhysPlan) -> Result<(), String> {
+    match plan {
+        PhysPlan::Sort { input, .. }
+        | PhysPlan::Aggregate { input, .. }
+        | PhysPlan::Distinct { input }
+        | PhysPlan::Limit { input, .. } => {
+            if !uncovered_attrs(input).is_empty() {
+                return Err(format!(
+                    "order/cardinality-sensitive operator over uncovered placeholders:\n{plan}"
+                ));
+            }
+            check_safety(input)
+        }
+        PhysPlan::Filter { input, predicate } => {
+            if refs_any(predicate, &uncovered_attrs(input)) {
+                return Err(format!(
+                    "filter reads uncovered placeholder attrs:\n{plan}"
+                ));
+            }
+            check_safety(input)
+        }
+        PhysPlan::Project { input, items, .. } => {
+            // Computed items must not read uncovered attrs.
+            let uncovered = uncovered_attrs(input);
+            for (e, _) in items {
+                if !matches!(e, Expr::Column(_)) && refs_any(e, &uncovered) {
+                    return Err(format!(
+                        "projection computes over uncovered placeholder attrs:\n{plan}"
+                    ));
+                }
+            }
+            check_safety(input)
+        }
+        PhysPlan::DependentJoin { left, right } => {
+            // Bindings must not read uncovered attrs of the outer side.
+            fn spec_of(p: &PhysPlan) -> Option<&EvSpec> {
+                match p {
+                    PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => Some(s),
+                    PhysPlan::Filter { input, .. } | PhysPlan::ReqSync { input, .. } => {
+                        spec_of(input)
+                    }
+                    _ => None,
+                }
+            }
+            if let Some(spec) = spec_of(right) {
+                let uncovered = uncovered_attrs(left);
+                for b in &spec.bindings {
+                    if let EvBinding::Column(c) = b {
+                        if refs_any(&Expr::Column(c.clone()), &uncovered) {
+                            return Err(format!(
+                                "dependent-join binding reads uncovered placeholders:\n{plan}"
+                            ));
+                        }
+                    }
+                }
+            }
+            check_safety(left)?;
+            check_safety(right)
+        }
+        PhysPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let mut uncovered = uncovered_attrs(left);
+            uncovered.extend(uncovered_attrs(right));
+            if refs_any(predicate, &uncovered) {
+                return Err(format!(
+                    "join predicate reads uncovered placeholder attrs:\n{plan}"
+                ));
+            }
+            check_safety(left)?;
+            check_safety(right)
+        }
+        PhysPlan::CrossProduct { left, right } => {
+            check_safety(left)?;
+            check_safety(right)
+        }
+        PhysPlan::ReqSync { input, .. } => check_safety(input),
+        PhysPlan::SeqScan { .. }
+        | PhysPlan::IndexScan { .. }
+        | PhysPlan::Values { .. }
+        | PhysPlan::EVScan(_)
+        | PhysPlan::AEVScan(_) => Ok(()),
+        PhysPlan::ParallelDependentJoin { left, .. } => check_safety(left),
+    }
+}
+
+fn count(plan: &PhysPlan, pred: fn(&PhysPlan) -> bool) -> usize {
+    plan.count_nodes(&pred)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn asyncify_invariants_hold(
+        plan in arb_plan(4),
+        strategy in prop_oneof![
+            Just(PlacementStrategy::Full),
+            Just(PlacementStrategy::InsertionOnly)
+        ],
+    ) {
+        let ev_before = count(&plan, |p| matches!(p, PhysPlan::EVScan(_)));
+        let out = asyncify(plan, strategy, BufferMode::Full);
+
+        // 1. Scan conversion.
+        prop_assert_eq!(count(&out, |p| matches!(p, PhysPlan::EVScan(_))), 0);
+        prop_assert_eq!(
+            count(&out, |p| matches!(p, PhysPlan::AEVScan(_))),
+            ev_before
+        );
+        // 2. Root coverage.
+        prop_assert!(
+            uncovered_attrs(&out).is_empty(),
+            "uncovered placeholders escape the root:\n{}",
+            out
+        );
+        // 3–5. Clash safety.
+        if let Err(msg) = check_safety(&out) {
+            prop_assert!(false, "{}", msg);
+        }
+        // 6. Idempotency.
+        let twice = asyncify(out.clone(), strategy, BufferMode::Full);
+        prop_assert_eq!(twice, out);
+    }
+}

@@ -1,0 +1,36 @@
+//! **ReqPump** — the global module for managing asynchronous external calls
+//! (paper Section 4.1).
+//!
+//! During asynchronous iteration, `AEVScan` operators *register* external
+//! search calls here and immediately return placeholder tuples; `ReqSync`
+//! operators *wait* for completions and patch the placeholders. ReqPump
+//! plays the producer in the producer/consumer protocol: it launches
+//! requests concurrently (respecting a global cap and per-destination
+//! caps, queueing the excess), stores each response in `ReqPumpHash` keyed
+//! by [`CallId`], and signals consumers as calls complete.
+//!
+//! Two dispatchers are provided:
+//!
+//! * [`DispatchMode::EventLoop`] — a single background thread drives *all*
+//!   in-flight calls, the design the paper argues for (citing the Flash web
+//!   server): services compute their response eagerly and declare a
+//!   simulated network latency; the loop holds launched calls in a deadline
+//!   heap and delivers each when its latency elapses. Hundreds of
+//!   concurrent "network" calls cost one thread.
+//! * [`DispatchMode::ThreadPool`] — a fixed pool of worker threads for
+//!   services that genuinely block (the Web-crawler example uses this).
+//!
+//! ReqPump also *coalesces* identical in-flight requests (one network call,
+//! many placeholders) — the countermeasure to the paper's Example 2, where
+//! a cross-product would otherwise send `|R|` identical calls per tuple.
+
+pub mod pump;
+pub mod service;
+
+pub use pump::{DispatchMode, PumpConfig, PumpStats, ReqPump};
+pub use service::{
+    blocking_execute, PageHit, RequestKind, SearchRequest, SearchResult, SearchService,
+    ServiceReply,
+};
+
+pub use wsq_common::CallId;

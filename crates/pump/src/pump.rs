@@ -1,0 +1,815 @@
+//! The ReqPump implementation: registration, concurrency-limited dispatch,
+//! result storage (`ReqPumpHash`), and completion signalling.
+
+use crate::service::{SearchRequest, SearchResult, SearchService, ServiceReply};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wsq_common::{CallId, Result, WsqError};
+
+/// How launched calls are driven to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// One background thread drives all in-flight calls via a deadline heap
+    /// (services must compute cheaply and declare simulated latency). This
+    /// is the paper's preferred event-driven design (§4.2).
+    EventLoop,
+    /// A pool of `n` worker threads, for services that genuinely block.
+    ThreadPool(usize),
+}
+
+/// ReqPump configuration.
+#[derive(Debug, Clone)]
+pub struct PumpConfig {
+    /// Maximum calls in flight across all destinations. The paper notes an
+    /// administrator configures this to avoid exhausting local resources.
+    pub max_concurrent: usize,
+    /// Per-destination in-flight caps ("an unwelcome number of simultaneous
+    /// requests" guard). Destinations absent from the map use
+    /// `default_per_destination`.
+    pub per_destination: HashMap<String, usize>,
+    /// Default per-destination cap.
+    pub default_per_destination: usize,
+    /// Merge identical in-flight requests into one network call.
+    pub coalesce: bool,
+    /// Dispatcher choice.
+    pub dispatch: DispatchMode,
+}
+
+impl Default for PumpConfig {
+    fn default() -> Self {
+        PumpConfig {
+            max_concurrent: 64,
+            per_destination: HashMap::new(),
+            default_per_destination: 64,
+            coalesce: true,
+            dispatch: DispatchMode::EventLoop,
+        }
+    }
+}
+
+/// Cumulative pump statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Calls registered (including coalesced registrations).
+    pub registered: u64,
+    /// Distinct calls actually launched to a service.
+    pub launched: u64,
+    /// Calls completed.
+    pub completed: u64,
+    /// Registrations satisfied by attaching to an existing call.
+    pub coalesced: u64,
+    /// Highest number of simultaneously in-flight calls observed.
+    pub peak_in_flight: u64,
+    /// Highest queue length observed while waiting for capacity.
+    pub peak_queued: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallState {
+    Queued,
+    InFlight,
+    Done,
+}
+
+struct CallMeta {
+    req: SearchRequest,
+    refs: usize,
+    state: CallState,
+}
+
+#[derive(Default)]
+struct State {
+    next_call: u64,
+    queue: VecDeque<CallId>,
+    meta: HashMap<CallId, CallMeta>,
+    /// `ReqPumpHash`: completed results keyed by call id.
+    results: HashMap<CallId, Result<SearchResult>>,
+    /// Coalescing index over calls that are still known to the pump.
+    index: HashMap<SearchRequest, CallId>,
+    active_total: usize,
+    active_per_dest: HashMap<String, usize>,
+    shutdown: bool,
+    stats: PumpStats,
+}
+
+struct Shared {
+    config: PumpConfig,
+    services: RwLock<HashMap<String, Arc<dyn SearchService>>>,
+    state: Mutex<State>,
+    /// Wakes the dispatcher (new work / shutdown).
+    work_cv: Condvar,
+    /// Wakes consumers (a call completed / shutdown).
+    done_cv: Condvar,
+}
+
+/// The global asynchronous request manager. See the crate docs.
+pub struct ReqPump {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ReqPump {
+    /// Create a pump with the given configuration and no services; register
+    /// engines with [`ReqPump::register_service`] before issuing calls.
+    pub fn new(config: PumpConfig) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            config: config.clone(),
+            services: RwLock::new(HashMap::new()),
+            state: Mutex::new(State::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut workers = Vec::new();
+        match config.dispatch {
+            DispatchMode::EventLoop => {
+                let s = shared.clone();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name("reqpump-loop".into())
+                        .spawn(move || event_loop(s))
+                        .expect("spawn reqpump loop"),
+                );
+            }
+            DispatchMode::ThreadPool(n) => {
+                for i in 0..n.max(1) {
+                    let s = shared.clone();
+                    workers.push(
+                        std::thread::Builder::new()
+                            .name(format!("reqpump-worker-{i}"))
+                            .spawn(move || worker_loop(s))
+                            .expect("spawn reqpump worker"),
+                    );
+                }
+            }
+        }
+        Arc::new(ReqPump {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Convenience: a pump with default config and one service.
+    pub fn with_service(name: &str, service: Arc<dyn SearchService>) -> Arc<Self> {
+        let pump = Self::new(PumpConfig::default());
+        pump.register_service(name, service);
+        pump
+    }
+
+    /// Register (or replace) the service handling destination `name`.
+    pub fn register_service(&self, name: &str, service: Arc<dyn SearchService>) {
+        self.shared
+            .services
+            .write()
+            .insert(name.to_string(), service);
+    }
+
+    /// Register an external call and return its id immediately. The call is
+    /// queued (respecting concurrency limits) and executed asynchronously.
+    ///
+    /// With coalescing enabled, an identical request already known to the
+    /// pump returns the existing id with its reference count bumped.
+    pub fn register(&self, req: SearchRequest) -> Result<CallId> {
+        let mut st = self.shared.state.lock();
+        if st.shutdown {
+            return Err(WsqError::PumpShutdown);
+        }
+        st.stats.registered += 1;
+        if self.shared.config.coalesce {
+            if let Some(&cid) = st.index.get(&req) {
+                st.stats.coalesced += 1;
+                st.meta.get_mut(&cid).expect("indexed call has meta").refs += 1;
+                return Ok(cid);
+            }
+        }
+        let cid = CallId(st.next_call);
+        st.next_call += 1;
+
+        // Fail fast on unknown destinations: complete with an error.
+        if !self.shared.services.read().contains_key(&req.engine) {
+            st.meta.insert(
+                cid,
+                CallMeta {
+                    req: req.clone(),
+                    refs: 1,
+                    state: CallState::Done,
+                },
+            );
+            st.results.insert(
+                cid,
+                Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
+            );
+            self.shared.done_cv.notify_all();
+            return Ok(cid);
+        }
+
+        st.index.insert(req.clone(), cid);
+        st.meta.insert(
+            cid,
+            CallMeta {
+                req,
+                refs: 1,
+                state: CallState::Queued,
+            },
+        );
+        st.queue.push_back(cid);
+        let queued = st.queue.len() as u64;
+        st.stats.peak_queued = st.stats.peak_queued.max(queued);
+        drop(st);
+        self.shared.work_cv.notify_all();
+        Ok(cid)
+    }
+
+    /// Non-blocking: the result of `call` if it has completed.
+    pub fn peek(&self, call: CallId) -> Option<Result<SearchResult>> {
+        self.shared.state.lock().results.get(&call).cloned()
+    }
+
+    /// Block until any of `calls` completes; returns the first one found.
+    ///
+    /// This is the signal `ReqSync` blocks on in its `get_next` when no
+    /// completed tuple is available.
+    pub fn wait_any(&self, calls: &[CallId]) -> Result<CallId> {
+        if calls.is_empty() {
+            return Err(WsqError::Exec("wait_any on empty call set".to_string()));
+        }
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(&done) = calls.iter().find(|c| st.results.contains_key(c)) {
+                return Ok(done);
+            }
+            if st.shutdown {
+                return Err(WsqError::PumpShutdown);
+            }
+            // Guard against waiting on ids the pump will never complete.
+            if let Some(&unknown) = calls.iter().find(|c| !st.meta.contains_key(c)) {
+                return Err(WsqError::Exec(format!(
+                    "wait_any on unknown call {unknown}"
+                )));
+            }
+            self.shared.done_cv.wait(&mut st);
+        }
+    }
+
+    /// Block until `call` completes and return (a clone of) its result.
+    pub fn wait(&self, call: CallId) -> Result<SearchResult> {
+        self.wait_any(std::slice::from_ref(&call))?;
+        self.peek(call)
+            .expect("wait_any returned, result must be present")
+    }
+
+    /// Release one reference to `call`. When the last reference is
+    /// released, the stored result is dropped; a still-queued call with no
+    /// references is cancelled outright. A call released while *in flight*
+    /// is cleaned up when its reply arrives (the delivery event must still
+    /// fire to free per-destination capacity), so [`ReqPump::live_calls`]
+    /// may transiently count it.
+    pub fn release(&self, call: CallId) {
+        let mut st = self.shared.state.lock();
+        let Some(meta) = st.meta.get_mut(&call) else {
+            return;
+        };
+        meta.refs = meta.refs.saturating_sub(1);
+        if meta.refs > 0 {
+            return;
+        }
+        match meta.state {
+            CallState::Queued => {
+                // Cancel before launch.
+                let req = meta.req.clone();
+                st.queue.retain(|&c| c != call);
+                st.meta.remove(&call);
+                st.index.remove(&req);
+            }
+            CallState::Done => {
+                let req = meta.req.clone();
+                st.meta.remove(&call);
+                st.results.remove(&call);
+                st.index.remove(&req);
+            }
+            CallState::InFlight => {
+                // Completion handling will notice refs == 0 and clean up.
+            }
+        }
+    }
+
+    /// Number of calls the pump still knows about (for leak tests).
+    pub fn live_calls(&self) -> usize {
+        self.shared.state.lock().meta.len()
+    }
+
+    /// Snapshot of statistics.
+    pub fn stats(&self) -> PumpStats {
+        self.shared.state.lock().stats
+    }
+
+    /// Stop the dispatcher. Outstanding `wait` calls return
+    /// [`WsqError::PumpShutdown`]; queued calls are dropped.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+        let mut workers = self.workers.lock();
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ReqPump {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-destination cap lookup.
+fn dest_cap(config: &PumpConfig, dest: &str) -> usize {
+    config
+        .per_destination
+        .get(dest)
+        .copied()
+        .unwrap_or(config.default_per_destination)
+}
+
+/// Is any queued call launchable under current limits?
+fn has_launchable(st: &State, config: &PumpConfig) -> bool {
+    if st.active_total >= config.max_concurrent {
+        return false;
+    }
+    st.queue.iter().any(|cid| {
+        let dest = &st.meta[cid].req.engine;
+        let used = st.active_per_dest.get(dest).copied().unwrap_or(0);
+        used < dest_cap(config, dest)
+    })
+}
+
+/// Find the first queued call that can launch under current limits.
+/// Scanning past the head avoids head-of-line blocking when one destination
+/// is saturated but another has capacity.
+fn pop_launchable(st: &mut State, config: &PumpConfig) -> Option<CallId> {
+    if st.active_total >= config.max_concurrent {
+        return None;
+    }
+    let pos = st.queue.iter().position(|cid| {
+        let dest = &st.meta[cid].req.engine;
+        let used = st.active_per_dest.get(dest).copied().unwrap_or(0);
+        used < dest_cap(config, dest)
+    })?;
+    let cid = st.queue.remove(pos).expect("position is in range");
+    let meta = st.meta.get_mut(&cid).expect("queued call has meta");
+    meta.state = CallState::InFlight;
+    let dest = meta.req.engine.clone();
+    st.active_total += 1;
+    *st.active_per_dest.entry(dest).or_insert(0) += 1;
+    st.stats.launched += 1;
+    st.stats.peak_in_flight = st.stats.peak_in_flight.max(st.active_total as u64);
+    Some(cid)
+}
+
+/// Mark a call complete, store its result, free its capacity, and signal
+/// consumers.
+fn complete(shared: &Shared, cid: CallId, result: Result<SearchResult>) {
+    let mut st = shared.state.lock();
+    st.active_total = st.active_total.saturating_sub(1);
+    let orphaned = match st.meta.get_mut(&cid) {
+        Some(meta) => {
+            meta.state = CallState::Done;
+            let dest = meta.req.engine.clone();
+            let refs = meta.refs;
+            if let Some(n) = st.active_per_dest.get_mut(&dest) {
+                *n = n.saturating_sub(1);
+            }
+            refs == 0
+        }
+        None => true,
+    };
+    st.stats.completed += 1;
+    if orphaned {
+        // Every registrant released before completion: drop everything.
+        if let Some(meta) = st.meta.remove(&cid) {
+            st.index.remove(&meta.req);
+        }
+    } else {
+        st.results.insert(cid, result);
+    }
+    drop(st);
+    shared.done_cv.notify_all();
+    shared.work_cv.notify_all(); // capacity freed: dispatcher may launch more
+}
+
+/// Deadline-heap entry for the event loop.
+struct Pending {
+    deadline: Instant,
+    cid: CallId,
+    result: Result<SearchResult>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.cid == other.cid
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deadline
+            .cmp(&other.deadline)
+            .then(self.cid.cmp(&other.cid))
+    }
+}
+
+/// The event-driven dispatcher: launch within limits, hold replies in a
+/// deadline heap, deliver when their simulated latency elapses.
+fn event_loop(shared: Arc<Shared>) {
+    let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+    loop {
+        // Launch phase: drain launchable calls, executing outside the lock.
+        let mut launches: Vec<(CallId, SearchRequest)> = Vec::new();
+        {
+            let mut st = shared.state.lock();
+            if st.shutdown {
+                return;
+            }
+            while let Some(cid) = pop_launchable(&mut st, &shared.config) {
+                let req = st.meta[&cid].req.clone();
+                launches.push((cid, req));
+            }
+        }
+        let now = Instant::now();
+        for (cid, req) in launches {
+            let service = shared.services.read().get(&req.engine).cloned();
+            let reply = match service {
+                Some(svc) => svc.execute(&req),
+                None => ServiceReply {
+                    result: Err(WsqError::Search(format!(
+                        "unknown engine '{}'",
+                        req.engine
+                    ))),
+                    latency: Duration::ZERO,
+                },
+            };
+            heap.push(Reverse(Pending {
+                deadline: now + reply.latency,
+                cid,
+                result: reply.result,
+            }));
+        }
+
+        // Delivery phase: complete everything whose deadline has passed.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|p| p.0.deadline <= now) {
+            let Reverse(p) = heap.pop().expect("peeked");
+            complete(&shared, p.cid, p.result);
+        }
+
+        // Wait phase: sleep until the next deadline or new work arrives.
+        let mut st = shared.state.lock();
+        if st.shutdown {
+            return;
+        }
+        if has_launchable(&st, &shared.config) {
+            continue; // go launch it
+        }
+        match heap.peek() {
+            Some(Reverse(p)) => {
+                let deadline = p.deadline;
+                let _ = shared.work_cv.wait_until(&mut st, deadline);
+            }
+            None => {
+                shared.work_cv.wait(&mut st);
+            }
+        }
+    }
+}
+
+/// Thread-pool worker: pop a launchable call, execute (possibly blocking),
+/// sleep the declared latency, deliver.
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let (cid, req) = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(cid) = pop_launchable(&mut st, &shared.config) {
+                    let req = st.meta[&cid].req.clone();
+                    break (cid, req);
+                }
+                shared.work_cv.wait(&mut st);
+            }
+        };
+        let service = shared.services.read().get(&req.engine).cloned();
+        let reply = match service {
+            Some(svc) => svc.execute(&req),
+            None => ServiceReply {
+                result: Err(WsqError::Search(format!(
+                    "unknown engine '{}'",
+                    req.engine
+                ))),
+                latency: Duration::ZERO,
+            },
+        };
+        if !reply.latency.is_zero() {
+            std::thread::sleep(reply.latency);
+        }
+        complete(&shared, cid, reply.result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::RequestKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Test service: count = expr length; observes concurrency.
+    struct Probe {
+        latency: Duration,
+        current: AtomicUsize,
+        peak: AtomicUsize,
+    }
+
+    impl Probe {
+        fn new(latency: Duration) -> Arc<Self> {
+            Arc::new(Probe {
+                latency,
+                current: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl SearchService for Probe {
+        fn execute(&self, req: &SearchRequest) -> ServiceReply {
+            // In event-loop mode this observes *compute* concurrency (always
+            // 1); the pump's own stats observe in-flight concurrency.
+            let cur = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(cur, Ordering::SeqCst);
+            self.current.fetch_sub(1, Ordering::SeqCst);
+            ServiceReply {
+                result: Ok(SearchResult::Count(req.expr.len() as u64)),
+                latency: self.latency,
+            }
+        }
+    }
+
+    fn req(engine: &str, expr: &str) -> SearchRequest {
+        SearchRequest {
+            engine: engine.into(),
+            expr: expr.into(),
+            kind: RequestKind::Count,
+        }
+    }
+
+    #[test]
+    fn single_call_roundtrip() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_millis(5)));
+        let cid = pump.register(req("AV", "Colorado")).unwrap();
+        assert_eq!(pump.wait(cid).unwrap().count(), Some(8));
+        pump.release(cid);
+        assert_eq!(pump.live_calls(), 0);
+    }
+
+    #[test]
+    fn concurrent_calls_overlap_in_time() {
+        // 20 calls of 30ms each: sequential would be 600ms; the event loop
+        // should finish in roughly one latency.
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_millis(30)));
+        let t0 = Instant::now();
+        let ids: Vec<CallId> = (0..20)
+            .map(|i| pump.register(req("AV", &format!("q{i:02}"))).unwrap())
+            .collect();
+        for &cid in &ids {
+            pump.wait(cid).unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "calls did not overlap: {elapsed:?}"
+        );
+        assert_eq!(pump.stats().launched, 20);
+        assert!(pump.stats().peak_in_flight >= 10);
+    }
+
+    #[test]
+    fn global_limit_respected() {
+        let config = PumpConfig {
+            max_concurrent: 3,
+            ..PumpConfig::default()
+        };
+        let pump = ReqPump::new(config);
+        pump.register_service("AV", Probe::new(Duration::from_millis(10)));
+        let ids: Vec<CallId> = (0..12)
+            .map(|i| pump.register(req("AV", &format!("g{i:02}"))).unwrap())
+            .collect();
+        for &cid in &ids {
+            pump.wait(cid).unwrap();
+        }
+        assert!(pump.stats().peak_in_flight <= 3);
+        assert!(pump.stats().peak_queued >= 9 - 3);
+    }
+
+    #[test]
+    fn per_destination_limit_and_no_head_of_line_blocking() {
+        let mut per = HashMap::new();
+        per.insert("AV".to_string(), 1);
+        let config = PumpConfig {
+            max_concurrent: 64,
+            per_destination: per,
+            ..PumpConfig::default()
+        };
+        let pump = ReqPump::new(config);
+        pump.register_service("AV", Probe::new(Duration::from_millis(40)));
+        pump.register_service("Google", Probe::new(Duration::from_millis(5)));
+        // Saturate AV, then register Google calls behind them.
+        let av: Vec<CallId> = (0..4)
+            .map(|i| pump.register(req("AV", &format!("a{i}"))).unwrap())
+            .collect();
+        let goog: Vec<CallId> = (0..4)
+            .map(|i| pump.register(req("Google", &format!("g{i}"))).unwrap())
+            .collect();
+        // Google calls must not wait for the serialized AV queue.
+        let t0 = Instant::now();
+        for &cid in &goog {
+            pump.wait(cid).unwrap();
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(80),
+            "google calls were head-of-line blocked: {:?}",
+            t0.elapsed()
+        );
+        for &cid in &av {
+            pump.wait(cid).unwrap();
+        }
+        // AV serialized: 4 * 40ms means total ≥ 160ms by now.
+    }
+
+    #[test]
+    fn coalescing_merges_identical_requests() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_millis(5)));
+        let a = pump.register(req("AV", "same")).unwrap();
+        let b = pump.register(req("AV", "same")).unwrap();
+        let c = pump.register(req("AV", "different")).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pump.wait(a).unwrap().count(), Some(4));
+        let stats = pump.stats();
+        assert_eq!(stats.registered, 3);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.launched, 2);
+        // Result survives the first release (refcounted).
+        pump.release(a);
+        assert!(pump.peek(b).is_some());
+        pump.release(b);
+        assert!(pump.peek(b).is_none());
+        // Wait before releasing: a call released while in flight is only
+        // cleaned up at delivery (see `release` docs).
+        pump.wait(c).unwrap();
+        pump.release(c);
+        assert_eq!(pump.live_calls(), 0);
+    }
+
+    #[test]
+    fn coalescing_can_be_disabled() {
+        let config = PumpConfig {
+            coalesce: false,
+            ..PumpConfig::default()
+        };
+        let pump = ReqPump::new(config);
+        pump.register_service("AV", Probe::new(Duration::ZERO));
+        let a = pump.register(req("AV", "same")).unwrap();
+        let b = pump.register(req("AV", "same")).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn wait_any_returns_a_completed_call() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_millis(5)));
+        let slow = pump.register(req("AV", "slow-call")).unwrap();
+        let fast = pump.register(req("AV", "f")).unwrap();
+        let done = pump.wait_any(&[slow, fast]).unwrap();
+        assert!(done == slow || done == fast);
+        pump.wait(slow).unwrap();
+        pump.wait(fast).unwrap();
+    }
+
+    #[test]
+    fn wait_any_on_unknown_call_errors() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::ZERO));
+        let err = pump.wait_any(&[CallId(999)]).unwrap_err();
+        assert!(matches!(err, WsqError::Exec(_)));
+        assert!(pump.wait_any(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_engine_fails_fast() {
+        let pump = ReqPump::new(PumpConfig::default());
+        let cid = pump.register(req("Nope", "x")).unwrap();
+        let err = pump.wait(cid).unwrap_err();
+        assert!(matches!(err, WsqError::Search(_)));
+        assert!(err.to_string().contains("Nope"));
+    }
+
+    #[test]
+    fn release_cancels_queued_calls() {
+        // Cap concurrency at 1 so later calls stay queued.
+        let config = PumpConfig {
+            max_concurrent: 1,
+            ..PumpConfig::default()
+        };
+        let pump = ReqPump::new(config);
+        pump.register_service("AV", Probe::new(Duration::from_millis(50)));
+        let first = pump.register(req("AV", "first")).unwrap();
+        let second = pump.register(req("AV", "second")).unwrap();
+        pump.release(second); // cancel while queued
+        pump.wait(first).unwrap();
+        // Give the loop a moment; the cancelled call must never launch.
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(pump.stats().launched, 1);
+        pump.release(first);
+        assert_eq!(pump.live_calls(), 0);
+    }
+
+    #[test]
+    fn shutdown_wakes_waiters() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_secs(10)));
+        let cid = pump.register(req("AV", "very slow")).unwrap();
+        let p2 = pump.clone();
+        let waiter = std::thread::spawn(move || p2.wait(cid));
+        std::thread::sleep(Duration::from_millis(20));
+        pump.shutdown();
+        let res = waiter.join().unwrap();
+        assert!(matches!(res, Err(WsqError::PumpShutdown)));
+        // Registration after shutdown fails.
+        assert!(matches!(
+            pump.register(req("AV", "late")),
+            Err(WsqError::PumpShutdown)
+        ));
+    }
+
+    #[test]
+    fn thread_pool_mode_works_and_overlaps() {
+        let config = PumpConfig {
+            dispatch: DispatchMode::ThreadPool(8),
+            ..PumpConfig::default()
+        };
+        let pump = ReqPump::new(config);
+        pump.register_service("AV", Probe::new(Duration::from_millis(30)));
+        let t0 = Instant::now();
+        let ids: Vec<CallId> = (0..8)
+            .map(|i| pump.register(req("AV", &format!("t{i}"))).unwrap())
+            .collect();
+        for &cid in &ids {
+            assert!(pump.wait(cid).unwrap().count().is_some());
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "thread pool did not overlap: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn thread_pool_respects_global_limit() {
+        let config = PumpConfig {
+            dispatch: DispatchMode::ThreadPool(8),
+            max_concurrent: 2,
+            ..PumpConfig::default()
+        };
+        let pump = ReqPump::new(config);
+        pump.register_service("AV", Probe::new(Duration::from_millis(10)));
+        let ids: Vec<CallId> = (0..10)
+            .map(|i| pump.register(req("AV", &format!("t{i}"))).unwrap())
+            .collect();
+        for &cid in &ids {
+            pump.wait(cid).unwrap();
+        }
+        assert!(pump.stats().peak_in_flight <= 2);
+    }
+
+    #[test]
+    fn zero_latency_calls_complete() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::ZERO));
+        let ids: Vec<CallId> = (0..100)
+            .map(|i| pump.register(req("AV", &format!("z{i:03}"))).unwrap())
+            .collect();
+        for &cid in &ids {
+            pump.wait(cid).unwrap();
+            pump.release(cid);
+        }
+        assert_eq!(pump.live_calls(), 0);
+        assert_eq!(pump.stats().completed, 100);
+    }
+}

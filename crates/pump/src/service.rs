@@ -1,0 +1,179 @@
+//! The external search-service abstraction.
+//!
+//! The query engine never talks to a search engine directly; it builds
+//! [`SearchRequest`]s and hands them either to [`blocking_execute`] (the
+//! synchronous `EVScan` path — the query processor stalls for the request's
+//! full latency) or to [`crate::ReqPump`] (the asynchronous `AEVScan`
+//! path).
+
+use std::fmt;
+use std::time::Duration;
+use wsq_common::Result;
+
+/// What a request asks the engine for.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// The total number of matching pages (`WebCount`). Search engines
+    /// return this immediately without delivering URLs (paper §3).
+    Count,
+    /// The top URLs for the expression (`WebPages`), limited to ranks
+    /// `1..=max_rank` — the rank bound is effectively an engine input.
+    Pages {
+        /// Highest rank (inclusive) to retrieve.
+        max_rank: u32,
+    },
+}
+
+/// A fully-instantiated request to one search engine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SearchRequest {
+    /// Destination engine name (e.g. `"AV"`, `"Google"`). Also the key for
+    /// per-destination concurrency limits.
+    pub engine: String,
+    /// The instantiated search expression (after `%i` substitution).
+    pub expr: String,
+    /// Count or ranked-pages request.
+    pub kind: RequestKind,
+}
+
+impl fmt::Display for SearchRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            RequestKind::Count => write!(f, "{}:count({:?})", self.engine, self.expr),
+            RequestKind::Pages { max_rank } => {
+                write!(f, "{}:pages({:?}, rank<={max_rank})", self.engine, self.expr)
+            }
+        }
+    }
+}
+
+/// One ranked search hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageHit {
+    /// Result URL.
+    pub url: String,
+    /// 1-based rank assigned by the engine.
+    pub rank: u32,
+    /// Page date as an ISO `YYYY-MM-DD` string.
+    pub date: String,
+}
+
+/// A completed search result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchResult {
+    /// Total page count for a [`RequestKind::Count`] request.
+    Count(u64),
+    /// Ranked hits for a [`RequestKind::Pages`] request, rank ascending.
+    Pages(Vec<PageHit>),
+}
+
+impl SearchResult {
+    /// The count, if this is a count result.
+    pub fn count(&self) -> Option<u64> {
+        match self {
+            SearchResult::Count(c) => Some(*c),
+            SearchResult::Pages(_) => None,
+        }
+    }
+
+    /// The hits, if this is a pages result.
+    pub fn pages(&self) -> Option<&[PageHit]> {
+        match self {
+            SearchResult::Pages(p) => Some(p),
+            SearchResult::Count(_) => None,
+        }
+    }
+}
+
+/// A service's reply: the result plus how long the "network" takes.
+///
+/// The latency contract is uniform across dispatchers: `latency` is the
+/// *additional* simulated wait before the result becomes visible. The
+/// event-loop dispatcher delivers the reply `latency` after launch without
+/// blocking a thread; the thread-pool dispatcher (and the synchronous
+/// [`blocking_execute`]) sleep for it. A service wrapping a genuinely
+/// blocking operation simply does its blocking work inside
+/// [`SearchService::execute`] and returns `latency == 0`.
+#[derive(Debug, Clone)]
+pub struct ServiceReply {
+    /// Result or failure.
+    pub result: Result<SearchResult>,
+    /// Simulated network latency still to elapse.
+    pub latency: Duration,
+}
+
+impl ServiceReply {
+    /// A successful instant reply (zero latency).
+    pub fn instant(result: SearchResult) -> Self {
+        ServiceReply {
+            result: Ok(result),
+            latency: Duration::ZERO,
+        }
+    }
+}
+
+/// An external search engine (or any other high-latency source).
+pub trait SearchService: Send + Sync {
+    /// Compute the reply for `req`. Must be cheap for event-loop dispatch;
+    /// may block for thread-pool dispatch.
+    fn execute(&self, req: &SearchRequest) -> ServiceReply;
+}
+
+/// Execute a request synchronously, stalling the caller for the full
+/// simulated latency — exactly what a conventional sequential query
+/// processor does on every `EVScan::get_next` (paper §4 intro).
+pub fn blocking_execute(service: &dyn SearchService, req: &SearchRequest) -> Result<SearchResult> {
+    let reply = service.execute(req);
+    if !reply.latency.is_zero() {
+        std::thread::sleep(reply.latency);
+    }
+    reply.result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    struct Fixed;
+    impl SearchService for Fixed {
+        fn execute(&self, req: &SearchRequest) -> ServiceReply {
+            ServiceReply {
+                result: Ok(SearchResult::Count(req.expr.len() as u64)),
+                latency: Duration::from_millis(20),
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_execute_sleeps_the_latency() {
+        let req = SearchRequest {
+            engine: "AV".into(),
+            expr: "Colorado".into(),
+            kind: RequestKind::Count,
+        };
+        let t0 = Instant::now();
+        let res = blocking_execute(&Fixed, &req).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        assert_eq!(res.count(), Some(8));
+    }
+
+    #[test]
+    fn request_display() {
+        let r = SearchRequest {
+            engine: "Google".into(),
+            expr: "four corners".into(),
+            kind: RequestKind::Pages { max_rank: 5 },
+        };
+        assert_eq!(r.to_string(), "Google:pages(\"four corners\", rank<=5)");
+    }
+
+    #[test]
+    fn result_accessors() {
+        assert_eq!(SearchResult::Count(3).count(), Some(3));
+        assert_eq!(SearchResult::Count(3).pages(), None);
+        let p = SearchResult::Pages(vec![]);
+        assert_eq!(p.count(), None);
+        assert_eq!(p.pages().unwrap().len(), 0);
+    }
+}

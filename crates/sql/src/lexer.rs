@@ -1,0 +1,304 @@
+//! Hand-written SQL lexer.
+
+use std::fmt;
+use wsq_common::{Result, WsqError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Dot => write!(f, "."),
+            Token::Semi => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+        }
+    }
+}
+
+/// Tokenize SQL text. Comments (`-- …`) run to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&'-') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(WsqError::Parse(
+                                "unterminated string literal".to_string(),
+                            ))
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == '.'
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| {
+                        WsqError::Parse(format!("bad float literal '{text}': {e}"))
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| {
+                        WsqError::Parse(format!("bad integer literal '{text}': {e}"))
+                    })?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(bytes[start..i].iter().collect()));
+            }
+            other => {
+                return Err(WsqError::Parse(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_wsq_query() {
+        let toks = lex("SELECT Name, Count FROM States, WebCount WHERE Name = T1").unwrap();
+        assert_eq!(toks.len(), 12);
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert_eq!(toks[10], Token::Eq);
+    }
+
+    #[test]
+    fn numbers_ints_and_floats() {
+        assert_eq!(
+            lex("42 3.25 0.5").unwrap(),
+            vec![Token::Int(42), Token::Float(3.25), Token::Float(0.5)]
+        );
+        // `1.` followed by non-digit is Int Dot (qualified-name friendly).
+        assert_eq!(
+            lex("1.x").unwrap(),
+            vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            lex("'four corners' 'it''s'").unwrap(),
+            vec![Token::Str("four corners".into()), Token::Str("it's".into())]
+        );
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            lex("< <= > >= = <> !=").unwrap(),
+            vec![
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT -- the select list\n x").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("SELECT".into()), Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT @x").is_err());
+    }
+
+    #[test]
+    fn identifiers_with_underscores() {
+        assert_eq!(
+            lex("WebPages_AV _x a1").unwrap(),
+            vec![
+                Token::Ident("WebPages_AV".into()),
+                Token::Ident("_x".into()),
+                Token::Ident("a1".into())
+            ]
+        );
+    }
+}

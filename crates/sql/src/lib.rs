@@ -1,0 +1,27 @@
+//! SQL front end for WSQ/DSQ: lexer, recursive-descent parser, and AST.
+//!
+//! The dialect is the Redbase-style subset the paper's prototype supports
+//! (select-project-join with manual join ordering via `FROM`-clause order),
+//! extended with the constructs the paper's plan-transformation rules need
+//! to be exercised against: `DISTINCT`, `GROUP BY` + aggregates, `ORDER
+//! BY`, and `LIMIT`.
+//!
+//! ```
+//! use wsq_sql::parse;
+//!
+//! let stmts = parse(
+//!     "SELECT Name, Count FROM States, WebCount \
+//!      WHERE Name = T1 ORDER BY Count DESC",
+//! ).unwrap();
+//! assert_eq!(stmts.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AggFunc, BinOp, ColumnDef, ColumnRef, Expr, Literal, OrderItem, SelectItem, SelectStmt,
+    Statement, TableRef, UnOp,
+};
+pub use parser::{parse, parse_one};

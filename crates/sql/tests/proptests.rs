@@ -1,0 +1,120 @@
+//! Parser robustness properties: no input panics the parser, and
+//! expression pretty-printing round-trips through re-parsing.
+
+use proptest::prelude::*;
+use wsq_sql::ast::{BinOp, Expr, Literal, Statement, UnOp};
+use wsq_sql::{parse, parse_one};
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Non-negative: `-1` prints as `-1` but re-parses as `Neg(1)`,
+        // which is semantically equal yet structurally different.
+        (0..i64::MAX).prop_map(Literal::Int),
+        // Finite positive floats with exact decimal display round-trip.
+        (0i32..1000, 1u32..100).prop_map(|(a, b)| Literal::Float(a as f64 + 1.0 / b as f64)),
+        "[a-z ]{0,12}".prop_map(Literal::Str),
+        Just(Literal::Null),
+    ]
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|n| Expr::column(&n)),
+        ("[a-z][a-z0-9_]{0,4}", "[a-z][a-z0-9_]{0,4}")
+            .prop_map(|(q, n)| Expr::qualified(&q, &n)),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = arb_expr(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        3 => (
+            prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                Just(BinOp::Eq), Just(BinOp::NotEq), Just(BinOp::Lt), Just(BinOp::LtEq),
+                Just(BinOp::Gt), Just(BinOp::GtEq), Just(BinOp::And), Just(BinOp::Or),
+            ],
+            inner.clone(),
+            inner.clone()
+        )
+            .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+        1 => inner.clone().prop_map(|e| Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(e)
+        }),
+        1 => inner.clone().prop_map(|e| Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(e)
+        }),
+        1 => (inner.clone(), "[a-z%_]{0,6}").prop_map(|(e, p)| Expr::Like {
+            expr: Box::new(e),
+            pattern: Box::new(Expr::Literal(Literal::Str(p))),
+            negated: false,
+        }),
+        1 => (inner.clone(), prop::collection::vec(arb_literal(), 1..4), any::<bool>())
+            .prop_map(|(e, lits, negated)| Expr::InList {
+                expr: Box::new(e),
+                list: lits.into_iter().map(Expr::Literal).collect(),
+                negated,
+            }),
+        1 => (inner.clone(), arb_literal(), arb_literal(), any::<bool>())
+            .prop_map(|(e, lo, hi, negated)| Expr::Between {
+                expr: Box::new(e),
+                low: Box::new(Expr::Literal(lo)),
+                high: Box::new(Expr::Literal(hi)),
+                negated,
+            }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pretty-printed expressions re-parse to the same AST. (The printer
+    /// fully parenthesizes, so precedence can't distort the round trip.)
+    #[test]
+    fn expression_display_reparses(expr in arb_expr(3)) {
+        let sql = format!("SELECT {expr} FROM t");
+        let stmt = parse_one(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        match stmt {
+            Statement::Select(s) => match &s.items[0] {
+                wsq_sql::SelectItem::Expr { expr: got, .. } => {
+                    prop_assert_eq!(got.to_string(), expr.to_string());
+                }
+                other => prop_assert!(false, "unexpected item {:?}", other),
+            },
+            other => prop_assert!(false, "unexpected stmt {:?}", other),
+        }
+    }
+
+    /// The parser never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Nor on inputs built from SQL-ish fragments (more likely to reach
+    /// deep parser states than raw noise).
+    #[test]
+    fn parser_never_panics_on_sqlish(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP BY"),
+                Just("ORDER BY"), Just("HAVING"), Just("LIMIT"), Just("INSERT INTO"),
+                Just("VALUES"), Just("CREATE TABLE"), Just("DROP INDEX"), Just("UPDATE"),
+                Just("SET"), Just("DELETE"), Just("NOT"), Just("LIKE"), Just("IN"),
+                Just("BETWEEN"), Just("AND"), Just("OR"), Just("("), Just(")"),
+                Just(","), Just("*"), Just("="), Just("<="), Just("'text'"),
+                Just("42"), Just("3.5"), Just("name"), Just("T.col"), Just(";"),
+            ],
+            0..25,
+        )
+    ) {
+        let input = parts.join(" ");
+        let _ = parse(&input);
+    }
+}

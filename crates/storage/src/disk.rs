@@ -1,0 +1,212 @@
+//! Per-file page storage: on-disk and in-memory backends.
+
+use crate::page::{zeroed_page, PageBuf, PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use wsq_common::{Result, WsqError};
+
+/// Abstraction over a single file's page storage.
+///
+/// The buffer pool talks to files exclusively through this trait, so tests
+/// and in-memory databases can swap [`MemStorage`] for [`FileStorage`].
+pub trait Storage: Send {
+    /// Read page `page` into `buf`. The page must have been allocated.
+    fn read_page(&mut self, page: PageId, buf: &mut PageBuf) -> Result<()>;
+    /// Write `buf` to page `page`. The page must have been allocated.
+    fn write_page(&mut self, page: PageId, buf: &PageBuf) -> Result<()>;
+    /// Append a fresh zeroed page and return its id.
+    fn allocate_page(&mut self) -> Result<PageId>;
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u32;
+    /// Flush any buffered writes to durable storage.
+    fn sync(&mut self) -> Result<()>;
+}
+
+/// File-backed page storage. Pages live at offset `page_id * PAGE_SIZE`.
+pub struct FileStorage {
+    file: File,
+    num_pages: u32,
+}
+
+impl FileStorage {
+    /// Open (or create) a paged file at `path`.
+    ///
+    /// An existing file must have a length that is a multiple of
+    /// [`PAGE_SIZE`]; anything else indicates corruption.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(WsqError::Storage(format!(
+                "file {} has length {len}, not a multiple of the page size",
+                path.as_ref().display()
+            )));
+        }
+        Ok(FileStorage {
+            file,
+            num_pages: (len / PAGE_SIZE as u64) as u32,
+        })
+    }
+
+    fn check_bounds(&self, page: PageId) -> Result<()> {
+        if page.0 >= self.num_pages {
+            return Err(WsqError::Storage(format!(
+                "page {page} out of bounds (file has {} pages)",
+                self.num_pages
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Storage for FileStorage {
+    fn read_page(&mut self, page: PageId, buf: &mut PageBuf) -> Result<()> {
+        self.check_bounds(page)?;
+        self.file
+            .seek(SeekFrom::Start(page.0 as u64 * PAGE_SIZE as u64))?;
+        self.file.read_exact(&mut buf[..])?;
+        Ok(())
+    }
+
+    fn write_page(&mut self, page: PageId, buf: &PageBuf) -> Result<()> {
+        self.check_bounds(page)?;
+        self.file
+            .seek(SeekFrom::Start(page.0 as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(&buf[..])?;
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        let id = PageId(self.num_pages);
+        self.file
+            .seek(SeekFrom::Start(id.0 as u64 * PAGE_SIZE as u64))?;
+        let zero = zeroed_page();
+        self.file.write_all(&zero[..])?;
+        self.num_pages += 1;
+        Ok(id)
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// In-memory page storage, for tests and `open_in_memory` databases.
+#[derive(Default)]
+pub struct MemStorage {
+    pages: Vec<PageBuf>,
+}
+
+impl MemStorage {
+    /// A new, empty in-memory file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read_page(&mut self, page: PageId, buf: &mut PageBuf) -> Result<()> {
+        let src = self.pages.get(page.0 as usize).ok_or_else(|| {
+            WsqError::Storage(format!("page {page} out of bounds (mem file)"))
+        })?;
+        buf.copy_from_slice(&src[..]);
+        Ok(())
+    }
+
+    fn write_page(&mut self, page: PageId, buf: &PageBuf) -> Result<()> {
+        let dst = self.pages.get_mut(page.0 as usize).ok_or_else(|| {
+            WsqError::Storage(format!("page {page} out of bounds (mem file)"))
+        })?;
+        dst.copy_from_slice(&buf[..]);
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        self.pages.push(zeroed_page());
+        Ok(PageId(self.pages.len() as u32 - 1))
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(storage: &mut dyn Storage) {
+        let p0 = storage.allocate_page().unwrap();
+        let p1 = storage.allocate_page().unwrap();
+        assert_eq!(p0, PageId(0));
+        assert_eq!(p1, PageId(1));
+        assert_eq!(storage.num_pages(), 2);
+
+        let mut buf = zeroed_page();
+        buf[0] = 0xAB;
+        buf[PAGE_SIZE - 1] = 0xCD;
+        storage.write_page(p1, &buf).unwrap();
+
+        let mut out = zeroed_page();
+        storage.read_page(p1, &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(out[PAGE_SIZE - 1], 0xCD);
+
+        // Page 0 untouched.
+        storage.read_page(p0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mem_storage_roundtrip() {
+        roundtrip(&mut MemStorage::new());
+    }
+
+    #[test]
+    fn file_storage_roundtrip_and_reopen() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.rdb");
+        {
+            let mut fs = FileStorage::open(&path).unwrap();
+            roundtrip(&mut fs);
+            fs.sync().unwrap();
+        }
+        // Reopen: page count and contents persist.
+        let mut fs = FileStorage::open(&path).unwrap();
+        assert_eq!(fs.num_pages(), 2);
+        let mut out = zeroed_page();
+        fs.read_page(PageId(1), &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let mut m = MemStorage::new();
+        let mut buf = zeroed_page();
+        assert!(m.read_page(PageId(0), &mut buf).is_err());
+        assert!(m.write_page(PageId(3), &buf).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.rdb");
+        std::fs::write(&path, b"not a page").unwrap();
+        assert!(FileStorage::open(&path).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! A memoizing search-result cache.
+//!
+//! The paper (§4, citing Hellerstein & Naughton, HN96) stresses that
+//! caching expensive external calls is essential for plans that would
+//! otherwise repeat identical searches — e.g. Example 2's cross-product
+//! issuing `|R|` identical calls per Sig. [`CachedService`] wraps any
+//! [`SearchService`]; hits are served locally with zero latency.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use wsq_pump::{SearchRequest, SearchResult, SearchService, ServiceReply};
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests forwarded to the inner service.
+    pub misses: u64,
+}
+
+/// A caching wrapper around a search service.
+pub struct CachedService {
+    inner: Arc<dyn SearchService>,
+    cache: Mutex<HashMap<SearchRequest, SearchResult>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl CachedService {
+    /// Wrap `inner` with an unbounded memoizing cache.
+    pub fn new(inner: Arc<dyn SearchService>) -> Arc<Self> {
+        Arc::new(CachedService {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+        })
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Drop all cached entries (the experimental "wait two hours between
+    /// runs" protocol, in one call).
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// True iff the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.lock().is_empty()
+    }
+}
+
+impl SearchService for CachedService {
+    fn execute(&self, req: &SearchRequest) -> ServiceReply {
+        if let Some(result) = self.cache.lock().get(req).cloned() {
+            self.stats.lock().hits += 1;
+            return ServiceReply {
+                result: Ok(result),
+                latency: Duration::ZERO, // local lookup: no network
+            };
+        }
+        self.stats.lock().misses += 1;
+        let reply = self.inner.execute(req);
+        if let Ok(result) = &reply.result {
+            self.cache.lock().insert(req.clone(), result.clone());
+        }
+        reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use wsq_pump::RequestKind;
+
+    struct Counting {
+        calls: AtomicU64,
+    }
+
+    impl SearchService for Counting {
+        fn execute(&self, req: &SearchRequest) -> ServiceReply {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            ServiceReply {
+                result: Ok(SearchResult::Count(req.expr.len() as u64)),
+                latency: Duration::from_millis(10),
+            }
+        }
+    }
+
+    fn req(expr: &str) -> SearchRequest {
+        SearchRequest {
+            engine: "AV".into(),
+            expr: expr.into(),
+            kind: RequestKind::Count,
+        }
+    }
+
+    #[test]
+    fn second_call_is_a_zero_latency_hit() {
+        let inner = Arc::new(Counting {
+            calls: AtomicU64::new(0),
+        });
+        let cached = CachedService::new(inner.clone());
+        let r1 = cached.execute(&req("colorado"));
+        assert_eq!(r1.latency, Duration::from_millis(10));
+        let r2 = cached.execute(&req("colorado"));
+        assert_eq!(r2.latency, Duration::ZERO);
+        assert_eq!(r2.result.unwrap().count(), Some(8));
+        assert_eq!(inner.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_requests_are_distinct_entries() {
+        let cached = CachedService::new(Arc::new(Counting {
+            calls: AtomicU64::new(0),
+        }));
+        cached.execute(&req("a"));
+        cached.execute(&req("b"));
+        // Same expr, different kind → different entry.
+        cached.execute(&SearchRequest {
+            engine: "AV".into(),
+            expr: "a".into(),
+            kind: RequestKind::Pages { max_rank: 5 },
+        });
+        assert_eq!(cached.len(), 3);
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_stats() {
+        let cached = CachedService::new(Arc::new(Counting {
+            calls: AtomicU64::new(0),
+        }));
+        cached.execute(&req("x"));
+        cached.execute(&req("x"));
+        cached.clear();
+        assert!(cached.is_empty());
+        cached.execute(&req("x"));
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 2 });
+    }
+}

@@ -1,0 +1,579 @@
+//! Deterministic synthetic Web corpus generation.
+//!
+//! The generator plants the [`crate::data`] entities in synthetic pages so
+//! that the paper's queries produce the documented *shapes*:
+//!
+//! * Each entity receives a **deterministic** number of primary pages via
+//!   largest-remainder apportionment of its weight — sampling noise cannot
+//!   reorder close pairs like Atlanta/Georgia.
+//! * Cluster pages engineer co-occurrences: "four corners" near the four
+//!   corner states, "Knuth" near the six paper-listed SIGs, "scuba diving"
+//!   near Florida/Hawaii/California and underwater movies (for DSQ).
+//! * State pages sprinkle topic terms ("computer", "beaches", …) adjacent
+//!   to the state name so Template 1/2 `near` queries return counts that
+//!   scale with state popularity.
+//! * Every page carries two independent authority scores (one per engine
+//!   personality) so AltaVista and Google rank results differently and
+//!   Query 6's "top-5 agreement" is rare but non-empty.
+
+use crate::data;
+use crate::symbols::{tokenize, SymbolTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of "ordinary" (non-cluster) pages.
+    pub pages: usize,
+    /// RNG seed; the corpus is a pure function of this config.
+    pub seed: u64,
+    /// Pages in the "four corners" co-occurrence cluster.
+    pub four_corners_pages: usize,
+    /// Pages in the "scuba diving" cluster (DSQ example).
+    pub scuba_pages: usize,
+    /// NEAR proximity window, in token positions.
+    pub near_window: u32,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            pages: 20_000,
+            seed: 0x5753_5144, // "WSQD"
+            four_corners_pages: 600,
+            scuba_pages: 260,
+            near_window: 10,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small corpus for fast unit tests (still shape-preserving for the
+    /// deterministic allocations, though with coarser counts).
+    pub fn small() -> Self {
+        CorpusConfig {
+            pages: 3_000,
+            four_corners_pages: 120,
+            scuba_pages: 60,
+            ..Self::default()
+        }
+    }
+}
+
+/// One synthetic Web page.
+#[derive(Debug)]
+pub struct Page {
+    /// The page's URL.
+    pub url: String,
+    /// Last-modified date, ISO `YYYY-MM-DD` (1997–1999, like the paper's
+    /// October-1999 searches would see).
+    pub date: String,
+    /// Interned term sequence.
+    pub terms: Vec<u32>,
+    /// AltaVista-personality static authority in `[0, 1)`.
+    pub av_auth: f64,
+    /// Google-personality static authority in `[0, 1)`.
+    pub g_auth: f64,
+}
+
+/// A posting: one page and the positions where a term occurs.
+#[derive(Debug)]
+pub struct Posting {
+    /// Page index into [`Corpus::pages`].
+    pub page: u32,
+    /// Sorted term positions within the page.
+    pub positions: Vec<u32>,
+}
+
+/// The generated corpus plus its positional inverted index.
+pub struct Corpus {
+    /// Term interner.
+    pub symbols: SymbolTable,
+    /// All pages.
+    pub pages: Vec<Page>,
+    /// Term → postings (sorted by page).
+    pub index: HashMap<u32, Vec<Posting>>,
+    /// NEAR window used by engines over this corpus.
+    pub near_window: u32,
+}
+
+/// What kind of entity a generated page is primarily about; controls the
+/// extra decoration applied to the page.
+#[derive(Clone, Copy, PartialEq)]
+enum EntityKind {
+    State,
+    Capital,
+    Sig,
+    Field,
+    Movie,
+    Topic,
+}
+
+struct Entity {
+    phrase: &'static str,
+    weight: u32,
+    kind: EntityKind,
+}
+
+impl Corpus {
+    /// Generate a corpus. Deterministic in `config`.
+    pub fn generate(config: &CorpusConfig) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut symbols = SymbolTable::new();
+        let mut pages: Vec<Page> = Vec::new();
+
+        // Pre-intern fixed vocabulary.
+        let filler: Vec<u32> = data::FILLER.iter().map(|w| symbols.intern(w)).collect();
+        let topics: Vec<u32> = data::TOPICS.iter().map(|w| symbols.intern(w)).collect();
+
+        let entities = build_entities();
+        let total_weight: u64 = entities.iter().map(|e| e.weight as u64).sum();
+
+        // Largest-remainder apportionment of primary pages to entities.
+        let counts = apportion(
+            &entities.iter().map(|e| e.weight as u64).collect::<Vec<_>>(),
+            config.pages as u64,
+        );
+
+        // Ordinary pages: one primary entity each, decorated.
+        for (entity, &count) in entities.iter().zip(&counts) {
+            let phrase: Vec<u32> = tokenize(entity.phrase)
+                .iter()
+                .map(|w| symbols.intern(w))
+                .collect();
+            for k in 0..count {
+                let official = k == 0 && entity.kind != EntityKind::Topic;
+                let page = make_entity_page(
+                    &mut rng,
+                    &mut symbols,
+                    &entities,
+                    total_weight,
+                    entity,
+                    &phrase,
+                    &filler,
+                    &topics,
+                    official,
+                    pages.len(),
+                );
+                pages.push(page);
+            }
+        }
+
+        // "Four corners" cluster (Query 3). Allocation is deterministic:
+        // 75% of the cluster goes to the four corner states in the paper's
+        // proportions, 25% is an incidental tail spread over all states by
+        // popularity (California's 215 vs Colorado's 1745 in the paper).
+        let knuth = symbols.intern("knuth");
+        let four = symbols.intern("four");
+        let corners = symbols.intern("corners");
+        let corner_states: &[(&str, u32)] = &[
+            ("Colorado", 34),
+            ("New Mexico", 24),
+            ("Arizona", 21),
+            ("Utah", 19),
+        ];
+        let dedicated = config.four_corners_pages * 3 / 4;
+        let tail = config.four_corners_pages - dedicated;
+        let mut fc_plan: Vec<&'static str> = Vec::with_capacity(config.four_corners_pages);
+        let corner_counts = apportion(
+            &corner_states.iter().map(|(_, w)| *w as u64).collect::<Vec<_>>(),
+            dedicated as u64,
+        );
+        for ((name, _), &n) in corner_states.iter().zip(&corner_counts) {
+            fc_plan.extend(std::iter::repeat(*name).take(n as usize));
+        }
+        let tail_counts = apportion(
+            &data::STATES.iter().map(|s| s.web_weight as u64).collect::<Vec<_>>(),
+            tail as u64,
+        );
+        for (s, &n) in data::STATES.iter().zip(&tail_counts) {
+            fc_plan.extend(std::iter::repeat(s.name).take(n as usize));
+        }
+        for (i, state) in fc_plan.into_iter().enumerate() {
+            let state_toks: Vec<u32> = tokenize(state)
+                .iter()
+                .map(|w| symbols.intern(w))
+                .collect();
+            let mut terms = random_filler(&mut rng, &filler, 3..10);
+            terms.extend_from_slice(&state_toks);
+            terms.push(four);
+            terms.push(corners);
+            terms.extend(random_filler(&mut rng, &filler, 5..20));
+            pages.push(finish_page(
+                &mut rng,
+                format!("www.fourcorners{i}.example.com/visit.html"),
+                terms,
+                0.0,
+            ));
+        }
+
+        // "Knuth" cluster (Section 4.1 footnote): deterministic counts.
+        for (sig, w) in data::SIG_KNUTH {
+            let sig_toks: Vec<u32> = tokenize(sig)
+                .iter()
+                .map(|t| symbols.intern(t))
+                .collect();
+            for i in 0..*w {
+                let mut terms = random_filler(&mut rng, &filler, 2..8);
+                terms.extend_from_slice(&sig_toks);
+                terms.push(knuth);
+                terms.extend(random_filler(&mut rng, &filler, 4..12));
+                pages.push(finish_page(
+                    &mut rng,
+                    format!(
+                        "www.{}.example.org/knuth{i}.html",
+                        sig.to_ascii_lowercase()
+                    ),
+                    terms,
+                    0.0,
+                ));
+            }
+        }
+
+        // "Scuba diving" cluster (DSQ): states, movies, and state+movie
+        // triples.
+        let scuba = symbols.intern("scuba");
+        let diving = symbols.intern("diving");
+        let scuba_entities: Vec<(&str, u32, bool)> = data::STATE_SCUBA
+            .iter()
+            .map(|(n, w)| (*n, *w, true))
+            .chain(data::MOVIE_SCUBA.iter().map(|(n, w)| (*n, *w, false)))
+            .collect();
+        let scuba_counts = apportion(
+            &scuba_entities.iter().map(|(_, w, _)| *w as u64).collect::<Vec<_>>(),
+            config.scuba_pages as u64,
+        );
+        let mut scuba_plan: Vec<(&str, u32, bool)> = Vec::new();
+        for (e, &n) in scuba_entities.iter().zip(&scuba_counts) {
+            scuba_plan.extend(std::iter::repeat(*e).take(n as usize));
+        }
+        for (i, chosen) in scuba_plan.into_iter().enumerate() {
+            let mut terms = random_filler(&mut rng, &filler, 2..8);
+            for t in tokenize(chosen.0) {
+                terms.push(symbols.intern(&t));
+            }
+            terms.push(scuba);
+            terms.push(diving);
+            // A third of pages pair the state with an affine movie (or the
+            // movie with an affine state): DSQ's triples.
+            if rng.gen_bool(0.33) {
+                let other = if chosen.2 {
+                    data::MOVIE_SCUBA[rng.gen_range(0..data::MOVIE_SCUBA.len())].0
+                } else {
+                    data::STATE_SCUBA[rng.gen_range(0..data::STATE_SCUBA.len())].0
+                };
+                for t in tokenize(other) {
+                    terms.push(symbols.intern(&t));
+                }
+            }
+            terms.extend(random_filler(&mut rng, &filler, 4..12));
+            pages.push(finish_page(
+                &mut rng,
+                format!("www.divers{i}.example.com/trip.html"),
+                terms,
+                0.0,
+            ));
+        }
+
+        // Build the positional inverted index.
+        let index = build_index(&pages);
+
+        Corpus {
+            symbols,
+            pages,
+            index,
+            near_window: config.near_window,
+        }
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True iff the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+fn build_entities() -> Vec<Entity> {
+    let mut out = Vec::new();
+    for s in data::STATES {
+        out.push(Entity {
+            phrase: s.name,
+            weight: s.web_weight,
+            kind: EntityKind::State,
+        });
+        out.push(Entity {
+            phrase: s.capital,
+            weight: s.capital_weight,
+            kind: EntityKind::Capital,
+        });
+    }
+    for (name, w) in data::SIGS {
+        out.push(Entity {
+            phrase: name,
+            weight: *w,
+            kind: EntityKind::Sig,
+        });
+    }
+    for (name, w) in data::CS_FIELDS {
+        out.push(Entity {
+            phrase: name,
+            weight: *w,
+            kind: EntityKind::Field,
+        });
+    }
+    for (name, w) in data::MOVIES {
+        out.push(Entity {
+            phrase: name,
+            weight: *w,
+            kind: EntityKind::Movie,
+        });
+    }
+    for name in data::TOPICS {
+        out.push(Entity {
+            phrase: name,
+            weight: 60,
+            kind: EntityKind::Topic,
+        });
+    }
+    out
+}
+
+/// Largest-remainder apportionment: `total` items split proportionally to
+/// `weights`, deterministically.
+fn apportion(weights: &[u64], total: u64) -> Vec<u64> {
+    let sum: u64 = weights.iter().sum();
+    if sum == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut base: Vec<u64> = weights.iter().map(|w| w * total / sum).collect();
+    let assigned: u64 = base.iter().sum();
+    // Distribute the remainder by largest fractional part (ties by index).
+    let mut rema: Vec<(u64, usize)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| ((w * total) % sum, i))
+        .collect();
+    rema.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for k in 0..(total - assigned) as usize {
+        base[rema[k % rema.len()].1] += 1;
+    }
+    base
+}
+
+fn random_filler(rng: &mut StdRng, filler: &[u32], range: std::ops::Range<usize>) -> Vec<u32> {
+    let n = rng.gen_range(range);
+    (0..n).map(|_| filler[rng.gen_range(0..filler.len())]).collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_entity_page(
+    rng: &mut StdRng,
+    symbols: &mut SymbolTable,
+    entities: &[Entity],
+    total_weight: u64,
+    entity: &Entity,
+    phrase: &[u32],
+    filler: &[u32],
+    topics: &[u32],
+    official: bool,
+    page_no: usize,
+) -> Page {
+    let mut terms = random_filler(rng, filler, 2..8);
+    let mentions = 1 + rng.gen_range(0..3);
+    for _ in 0..mentions {
+        terms.extend_from_slice(phrase);
+        // Topic decoration: a topic term lands adjacent to the entity name
+        // so `Entity near topic` matches. States are decorated heavily
+        // (Templates 1/2 probe them); Sigs lightly (Template 3, and real
+        // SIG pages do mention "computer" etc.).
+        let topic_prob = match entity.kind {
+            EntityKind::State => 0.55,
+            EntityKind::Sig => 0.4,
+            _ => 0.0,
+        };
+        if topic_prob > 0.0 && rng.gen_bool(topic_prob) {
+            terms.push(topics[rng.gen_range(0..topics.len())]);
+            if rng.gen_bool(0.3) {
+                terms.push(topics[rng.gen_range(0..topics.len())]);
+            }
+        }
+        terms.extend(random_filler(rng, filler, 3..12));
+    }
+    // Secondary mention: some pages reference another entity too.
+    if rng.gen_bool(0.15) {
+        let mut roll = rng.gen_range(0..total_weight);
+        for other in entities {
+            if roll < other.weight as u64 {
+                for t in tokenize(other.phrase) {
+                    terms.push(symbols.intern(&t));
+                }
+                break;
+            }
+            roll -= other.weight as u64;
+        }
+        terms.extend(random_filler(rng, filler, 1..6));
+    }
+
+    let slug: String = entity
+        .phrase
+        .to_ascii_lowercase()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect();
+    let url = if official {
+        format!("www.{slug}.org/index.html")
+    } else {
+        format!("www.{slug}{}.example.com/page{page_no}.html", page_no % 97)
+    };
+    // Official home pages get a strong Google-style authority boost but
+    // only a moderate AltaVista one: the two engines will usually disagree
+    // about top ranks, agreeing mostly on official pages (Query 6).
+    let boost = if official { 0.9 } else { 0.0 };
+    finish_page(rng, url, terms, boost)
+}
+
+fn finish_page(rng: &mut StdRng, url: String, terms: Vec<u32>, g_boost: f64) -> Page {
+    let year = 1997 + rng.gen_range(0..3);
+    let month = 1 + rng.gen_range(0..12);
+    let day = 1 + rng.gen_range(0..28);
+    Page {
+        url,
+        date: format!("{year}-{month:02}-{day:02}"),
+        terms,
+        av_auth: rng.gen_range(0.0..0.8) + g_boost * 0.12,
+        g_auth: rng.gen_range(0.0..0.6) + g_boost,
+    }
+}
+
+fn build_index(pages: &[Page]) -> HashMap<u32, Vec<Posting>> {
+    let mut index: HashMap<u32, Vec<Posting>> = HashMap::new();
+    for (pid, page) in pages.iter().enumerate() {
+        for (pos, &term) in page.terms.iter().enumerate() {
+            let postings = index.entry(term).or_default();
+            match postings.last_mut() {
+                Some(p) if p.page == pid as u32 => p.positions.push(pos as u32),
+                _ => postings.push(Posting {
+                    page: pid as u32,
+                    positions: vec![pos as u32],
+                }),
+            }
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_is_exact_and_proportional() {
+        let counts = apportion(&[10, 20, 70], 100);
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+        assert_eq!(counts, vec![10, 20, 70]);
+        let counts = apportion(&[1, 1, 1], 100);
+        assert_eq!(counts.iter().sum::<u64>(), 100);
+        let counts = apportion(&[3, 3, 3], 2);
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+        assert_eq!(apportion(&[0, 0], 5), vec![0, 0]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c1 = Corpus::generate(&CorpusConfig::small());
+        let c2 = Corpus::generate(&CorpusConfig::small());
+        assert_eq!(c1.len(), c2.len());
+        for (a, b) in c1.pages.iter().zip(&c2.pages) {
+            assert_eq!(a.url, b.url);
+            assert_eq!(a.terms, b.terms);
+            assert_eq!(a.date, b.date);
+            assert_eq!(a.av_auth, b.av_auth);
+        }
+    }
+
+    #[test]
+    fn corpus_has_expected_size_and_clusters() {
+        let cfg = CorpusConfig::small();
+        let c = Corpus::generate(&cfg);
+        assert_eq!(
+            c.len(),
+            cfg.pages
+                + cfg.four_corners_pages
+                + cfg.scuba_pages
+                + data::SIG_KNUTH.iter().map(|(_, w)| *w as usize).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn index_positions_match_pages() {
+        let c = Corpus::generate(&CorpusConfig::small());
+        // Spot-check a handful of postings against raw page content.
+        let term = c.symbols.get("california").expect("california indexed");
+        let postings = &c.index[&term];
+        assert!(!postings.is_empty());
+        for p in postings.iter().take(20) {
+            for &pos in &p.positions {
+                assert_eq!(c.pages[p.page as usize].terms[pos as usize], term);
+            }
+        }
+        // Postings sorted by page id.
+        for w in postings.windows(2) {
+            assert!(w[0].page < w[1].page);
+        }
+    }
+
+    #[test]
+    fn official_pages_exist_with_high_authority() {
+        let c = Corpus::generate(&CorpusConfig::small());
+        let official: Vec<&Page> = c
+            .pages
+            .iter()
+            .filter(|p| p.url == "www.california.org/index.html")
+            .collect();
+        assert_eq!(official.len(), 1);
+        assert!(official[0].g_auth > 0.9);
+    }
+
+    #[test]
+    fn headline_shapes_hold_across_seeds() {
+        // The deterministic apportionment (not the RNG) carries the result
+        // shapes, so they must survive reseeding.
+        for seed in [1u64, 42, 0xDEAD_BEEF] {
+            let cfg = CorpusConfig {
+                seed,
+                ..CorpusConfig::small()
+            };
+            let c = Corpus::generate(&cfg);
+            let count = |term: &str| {
+                let q = crate::search::parse_query(term, true);
+                crate::search::evaluate(&c, &q).len()
+            };
+            // Query 1 top pair.
+            assert!(count("california") > count("washington"), "seed {seed}");
+            assert!(count("washington") > count("\"new york\""), "seed {seed}");
+            // Query 3's cluster leaders.
+            let co = count("colorado near \"four corners\"");
+            let ut = count("utah near \"four corners\"");
+            assert!(co > ut && ut > 0, "seed {seed}");
+            // Query 4's flagship collision.
+            assert!(count("boston") > count("massachusetts"), "seed {seed}");
+            // Knuth counts are planted exactly, independent of seed.
+            assert_eq!(count("sigact near knuth"), 30, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dates_are_in_the_paper_era() {
+        let c = Corpus::generate(&CorpusConfig::small());
+        for p in c.pages.iter().take(500) {
+            let year: u32 = p.date[..4].parse().unwrap();
+            assert!((1997..=1999).contains(&year), "bad date {}", p.date);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Static reference datasets.
+//!
+//! These drive both sides of the reproduction: the corpus generator plants
+//! these entities in synthetic Web pages, and the examples load the same
+//! entities into database tables (`States`, `Sigs`, `CSFields`, `Movies`).
+//!
+//! `WEB_WEIGHT` values are hand-tuned so the *shapes* of the paper's
+//! Section 3.1 query results hold on the synthetic corpus:
+//!
+//! * Query 1 ordering: California > Washington > New York > Texas >
+//!   Michigan > everyone else (Washington is boosted for its capital-city
+//!   name collision, exactly the false-hit effect the paper describes).
+//! * Query 2 ordering (count/population): Alaska > Washington > Delaware >
+//!   Hawaii > Wyoming.
+//! * Query 4: exactly the paper's six capitals out-count their states
+//!   (Atlanta, Lincoln, Boston, Jackson, Pierre, Columbia — all common
+//!   words/names in other contexts).
+
+/// One U.S. state: name, July-1998 census population estimate, capital,
+/// relative Web popularity weight, capital's Web weight.
+pub struct StateRow {
+    /// State name.
+    pub name: &'static str,
+    /// 1998 population estimate (approximate; used only for Query 2's
+    /// normalization).
+    pub population: i64,
+    /// Capital city.
+    pub capital: &'static str,
+    /// Relative frequency of the state name on the synthetic Web.
+    pub web_weight: u32,
+    /// Relative frequency of the capital name on the synthetic Web.
+    pub capital_weight: u32,
+}
+
+macro_rules! state {
+    ($name:literal, $pop:literal, $cap:literal, $w:literal, $cw:literal) => {
+        StateRow {
+            name: $name,
+            population: $pop,
+            capital: $cap,
+            web_weight: $w,
+            capital_weight: $cw,
+        }
+    };
+}
+
+/// The 50 U.S. states.
+pub const STATES: &[StateRow] = &[
+    state!("Alabama", 4352000, "Montgomery", 218, 80),
+    state!("Alaska", 614000, "Juneau", 280, 40),
+    state!("Arizona", 4669000, "Phoenix", 233, 90),
+    state!("Arkansas", 2538000, "Little Rock", 127, 45),
+    state!("California", 32667000, "Sacramento", 2500, 300),
+    state!("Colorado", 3971000, "Denver", 199, 85),
+    state!("Connecticut", 3274000, "Hartford", 164, 60),
+    state!("Delaware", 744000, "Dover", 240, 70),
+    state!("Florida", 14916000, "Tallahassee", 746, 90),
+    state!("Georgia", 7642000, "Atlanta", 382, 420),
+    state!("Hawaii", 1193000, "Honolulu", 300, 95),
+    state!("Idaho", 1229000, "Boise", 61, 25),
+    state!("Illinois", 12045000, "Springfield", 602, 240),
+    state!("Indiana", 5899000, "Indianapolis", 295, 110),
+    state!("Iowa", 2862000, "Des Moines", 143, 50),
+    state!("Kansas", 2629000, "Topeka", 131, 40),
+    state!("Kentucky", 3936000, "Frankfort", 197, 35),
+    state!("Louisiana", 4369000, "Baton Rouge", 218, 75),
+    state!("Maine", 1244000, "Augusta", 62, 28),
+    state!("Maryland", 5135000, "Annapolis", 257, 70),
+    state!("Massachusetts", 6147000, "Boston", 307, 440),
+    state!("Michigan", 9817000, "Lansing", 950, 55),
+    state!("Minnesota", 4725000, "Saint Paul", 236, 85),
+    state!("Mississippi", 2752000, "Jackson", 138, 230),
+    state!("Missouri", 5439000, "Jefferson City", 272, 45),
+    state!("Montana", 880000, "Helena", 44, 20),
+    state!("Nebraska", 1663000, "Lincoln", 83, 140),
+    state!("Nevada", 1747000, "Carson City", 87, 35),
+    state!("New Hampshire", 1185000, "Concord", 59, 30),
+    state!("New Jersey", 8115000, "Trenton", 406, 60),
+    state!("New Mexico", 1737000, "Santa Fe", 87, 45),
+    state!("New York", 18175000, "Albany", 1900, 110),
+    state!("North Carolina", 7546000, "Raleigh", 377, 80),
+    state!("North Dakota", 638000, "Bismarck", 32, 15),
+    state!("Ohio", 11209000, "Columbus", 560, 180),
+    state!("Oklahoma", 3347000, "Oklahoma City", 167, 60),
+    state!("Oregon", 3282000, "Salem", 164, 65),
+    state!("Pennsylvania", 12001000, "Harrisburg", 600, 50),
+    state!("Rhode Island", 988000, "Providence", 49, 22),
+    state!("South Carolina", 3836000, "Columbia", 192, 320),
+    state!("South Dakota", 738000, "Pierre", 37, 90),
+    state!("Tennessee", 5431000, "Nashville", 272, 120),
+    state!("Texas", 19760000, "Austin", 1360, 170),
+    state!("Utah", 2100000, "Salt Lake City", 105, 55),
+    state!("Vermont", 591000, "Montpelier", 30, 12),
+    state!("Virginia", 6791000, "Richmond", 340, 95),
+    state!("Washington", 5689000, "Olympia", 2100, 50),
+    state!("West Virginia", 1811000, "Charleston", 91, 40),
+    state!("Wisconsin", 5224000, "Madison", 261, 100),
+    state!("Wyoming", 481000, "Cheyenne", 110, 25),
+];
+
+/// The 37 ACM Special Interest Groups (1999-era roster), with relative
+/// Web weights. Section 4.1's Sigs/Knuth example joins against these.
+pub const SIGS: &[(&str, u32)] = &[
+    ("SIGACT", 40),
+    ("SIGAda", 12),
+    ("SIGAPL", 8),
+    ("SIGAPP", 14),
+    ("SIGARCH", 35),
+    ("SIGART", 22),
+    ("SIGBIO", 9),
+    ("SIGCAPH", 5),
+    ("SIGCAS", 7),
+    ("SIGCHI", 70),
+    ("SIGCOMM", 55),
+    ("SIGCPR", 6),
+    ("SIGCSE", 30),
+    ("SIGCUE", 5),
+    ("SIGDA", 12),
+    ("SIGDOC", 10),
+    ("SIGGRAPH", 90),
+    ("SIGGROUP", 8),
+    ("SIGIR", 32),
+    ("SIGKDD", 25),
+    ("SIGMETRICS", 18),
+    ("SIGMICRO", 9),
+    ("SIGMIS", 7),
+    ("SIGMOBILE", 15),
+    ("SIGMOD", 60),
+    ("SIGMM", 11),
+    ("SIGNUM", 6),
+    ("SIGOPS", 38),
+    ("SIGPLAN", 50),
+    ("SIGSAC", 10),
+    ("SIGSAM", 8),
+    ("SIGSIM", 7),
+    ("SIGSOFT", 33),
+    ("SIGSPATIAL", 6),
+    ("SIGUCCS", 5),
+    ("SIGWEB", 13),
+    ("SIGSOUND", 4),
+];
+
+/// Co-occurrence weights of each SIG with the keyword "Knuth" — the paper
+/// reports (footnote 3) the order SIGACT, SIGPLAN, SIGGRAPH, SIGMOD,
+/// SIGCOMM, SIGSAM with `Count = 0` for all other Sigs.
+pub const SIG_KNUTH: &[(&str, u32)] = &[
+    ("SIGACT", 30),
+    ("SIGPLAN", 24),
+    ("SIGGRAPH", 18),
+    ("SIGMOD", 12),
+    ("SIGCOMM", 7),
+    ("SIGSAM", 3),
+];
+
+/// Computer-science fields (Section 4.5 Example 3's `CSFields` table).
+pub const CS_FIELDS: &[(&str, u32)] = &[
+    ("databases", 50),
+    ("operating systems", 45),
+    ("artificial intelligence", 60),
+    ("networking", 55),
+    ("graphics", 48),
+    ("algorithms", 42),
+    ("compilers", 25),
+    ("architecture", 38),
+    ("security", 35),
+    ("theory", 30),
+    ("robotics", 28),
+    ("databases systems", 6),
+];
+
+/// Movies (pre-2000), used by the DSQ example: title, relative weight.
+pub const MOVIES: &[(&str, u32)] = &[
+    ("Jaws", 60),
+    ("Titanic", 95),
+    ("The Abyss", 30),
+    ("Waterworld", 25),
+    ("Thunderball", 20),
+    ("Star Wars", 100),
+    ("Casablanca", 45),
+    ("Vertigo", 35),
+    ("Psycho", 40),
+    ("Fargo", 30),
+    ("Twister", 28),
+    ("Volcano", 18),
+    ("Armageddon", 33),
+    ("The Godfather", 70),
+    ("Goldfinger", 26),
+    ("Key Largo", 15),
+    ("Apollo 13", 38),
+    ("Forrest Gump", 55),
+    ("The Birds", 22),
+    ("Dances with Wolves", 27),
+];
+
+/// Movies with an affinity for the phrase "scuba diving" (DSQ example:
+/// underwater thrillers). Weight = co-occurrence strength.
+pub const MOVIE_SCUBA: &[(&str, u32)] = &[
+    ("The Abyss", 25),
+    ("Thunderball", 18),
+    ("Jaws", 12),
+    ("Key Largo", 6),
+];
+
+/// States with an affinity for "scuba diving" (DSQ example).
+pub const STATE_SCUBA: &[(&str, u32)] = &[
+    ("Florida", 30),
+    ("Hawaii", 12),
+    ("California", 15),
+    ("Texas", 4),
+];
+
+/// Topic constants — the pool Template 1/2 instantiate `V1`/`V2` from
+/// (Section 5: "computer", "beaches", "crime", "politics", "frogs", …).
+pub const TOPICS: &[&str] = &[
+    "computer", "beaches", "crime", "politics", "frogs", "lakes", "football",
+    "taxes", "hiking", "weather", "music", "history", "wine", "desert",
+    "gold", "oil", "fishing", "skiing", "casinos", "universities",
+];
+
+/// Filler vocabulary for synthetic page text.
+pub const FILLER: &[&str] = &[
+    "the", "a", "of", "and", "to", "in", "for", "is", "on", "that", "with",
+    "as", "was", "at", "by", "this", "from", "are", "or", "an", "be", "it",
+    "page", "home", "site", "web", "information", "welcome", "news", "links",
+    "about", "contact", "guide", "travel", "visit", "official", "online",
+    "service", "city", "county", "park", "river", "mountain", "school",
+    "library", "museum", "hotel", "restaurant", "map", "photo", "gallery",
+    "events", "calendar", "business", "government", "department", "office",
+    "center", "community", "local", "national", "report", "review", "year",
+    "new", "best", "great", "area", "north", "south", "east", "west",
+    "people", "family", "house", "land", "water", "road", "trail", "club",
+    "team", "game", "season", "festival", "fair", "market", "store", "shop",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fifty_states_thirty_seven_sigs() {
+        assert_eq!(STATES.len(), 50);
+        assert_eq!(SIGS.len(), 37);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = STATES.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 50);
+        let sigs: HashSet<&str> = SIGS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(sigs.len(), 37);
+    }
+
+    #[test]
+    fn query1_shape_holds_in_weights() {
+        // California > Washington > New York > Texas > Michigan > rest.
+        let w = |n: &str| {
+            STATES
+                .iter()
+                .find(|s| s.name == n)
+                .map(|s| s.web_weight)
+                .unwrap()
+        };
+        let top5 = ["California", "Washington", "New York", "Texas", "Michigan"];
+        for pair in top5.windows(2) {
+            assert!(w(pair[0]) > w(pair[1]), "{} <= {}", pair[0], pair[1]);
+        }
+        let fifth = w("Michigan");
+        for s in STATES {
+            if !top5.contains(&s.name) {
+                assert!(s.web_weight < fifth, "{} breaks the top-5 shape", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn query2_shape_holds_in_weights() {
+        // weight/population ordering: Alaska > Washington > Delaware >
+        // Hawaii > Wyoming > everyone else.
+        let ratio = |n: &str| {
+            let s = STATES.iter().find(|s| s.name == n).unwrap();
+            s.web_weight as f64 / s.population as f64
+        };
+        let top5 = ["Alaska", "Washington", "Delaware", "Hawaii", "Wyoming"];
+        for pair in top5.windows(2) {
+            assert!(ratio(pair[0]) > ratio(pair[1]), "{} <= {}", pair[0], pair[1]);
+        }
+        let fifth = ratio("Wyoming");
+        for s in STATES {
+            if !top5.contains(&s.name) {
+                let r = s.web_weight as f64 / s.population as f64;
+                assert!(r < fifth, "{} breaks the normalized top-5 shape", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn query4_shape_exactly_six_capitals_win() {
+        let winners: Vec<&str> = STATES
+            .iter()
+            .filter(|s| s.capital_weight > s.web_weight)
+            .map(|s| s.capital)
+            .collect();
+        let mut expected = vec!["Atlanta", "Lincoln", "Boston", "Jackson", "Pierre", "Columbia"];
+        let mut got = winners.clone();
+        expected.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn knuth_sigs_are_real_sigs_in_paper_order() {
+        let sigs: HashSet<&str> = SIGS.iter().map(|(n, _)| *n).collect();
+        for (name, _) in SIG_KNUTH {
+            assert!(sigs.contains(name));
+        }
+        for pair in SIG_KNUTH.windows(2) {
+            assert!(pair[0].1 > pair[1].1, "Knuth ordering must be strict");
+        }
+    }
+}

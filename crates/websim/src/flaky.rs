@@ -1,0 +1,232 @@
+//! Failure injection: a deterministic flaky-engine wrapper and a retry
+//! decorator.
+//!
+//! 1999 search engines failed often enough that the paper's experimental
+//! protocol had to work around them ("performance … can fluctuate
+//! considerably depending on load"). [`FlakyService`] makes a fraction of
+//! requests fail *deterministically* (keyed on the request), so tests can
+//! exercise every error path reproducibly; [`RetryService`] is the
+//! corresponding recovery decorator.
+
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Duration;
+use wsq_common::WsqError;
+use wsq_pump::{SearchRequest, SearchService, ServiceReply};
+
+/// Failure-injection statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlakyStats {
+    /// Requests that were failed.
+    pub failures: u64,
+    /// Requests passed through.
+    pub successes: u64,
+}
+
+/// Fails a deterministic subset of requests with a search error.
+pub struct FlakyService {
+    inner: Arc<dyn SearchService>,
+    /// Fail when `hash(request, seed) % 1000 < failure_permille`.
+    failure_permille: u32,
+    seed: u64,
+    stats: Mutex<FlakyStats>,
+}
+
+impl FlakyService {
+    /// Wrap `inner`, failing roughly `failure_permille`/1000 of requests.
+    pub fn new(inner: Arc<dyn SearchService>, failure_permille: u32, seed: u64) -> Arc<Self> {
+        Arc::new(FlakyService {
+            inner,
+            failure_permille: failure_permille.min(1000),
+            seed,
+            stats: Mutex::new(FlakyStats::default()),
+        })
+    }
+
+    /// Would this request fail? (Deterministic; useful for test oracles.)
+    pub fn would_fail(&self, req: &SearchRequest) -> bool {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        req.hash(&mut h);
+        (h.finish() % 1000) < self.failure_permille as u64
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> FlakyStats {
+        *self.stats.lock()
+    }
+}
+
+impl SearchService for FlakyService {
+    fn execute(&self, req: &SearchRequest) -> ServiceReply {
+        if self.would_fail(req) {
+            self.stats.lock().failures += 1;
+            return ServiceReply {
+                result: Err(WsqError::Search(format!(
+                    "503 service unavailable for {req}"
+                ))),
+                latency: Duration::from_millis(1),
+            };
+        }
+        self.stats.lock().successes += 1;
+        self.inner.execute(req)
+    }
+}
+
+/// Retries the inner service until it succeeds or attempts are exhausted.
+///
+/// The retry happens inside `execute`, so it composes with either pump
+/// dispatcher; the reported latency is the sum over attempts (each retry
+/// costs another round trip).
+pub struct RetryService {
+    inner: Arc<dyn SearchService>,
+    attempts: u32,
+}
+
+impl RetryService {
+    /// Wrap `inner`, trying up to `attempts` times (min 1).
+    pub fn new(inner: Arc<dyn SearchService>, attempts: u32) -> Arc<Self> {
+        Arc::new(RetryService {
+            inner,
+            attempts: attempts.max(1),
+        })
+    }
+}
+
+impl SearchService for RetryService {
+    fn execute(&self, req: &SearchRequest) -> ServiceReply {
+        let mut total_latency = Duration::ZERO;
+        let mut last = None;
+        for attempt in 0..self.attempts {
+            // Salt the request so a deterministic flake doesn't fail every
+            // attempt identically — mirroring real engines where a retry
+            // hits a different replica. The salt is whitespace-class only
+            // (zero-width spaces), so tokenization ignores it and the
+            // retried query is *semantically identical* to the original.
+            let salted = if attempt == 0 {
+                req.clone()
+            } else {
+                SearchRequest {
+                    expr: format!(
+                        "{}{}",
+                        req.expr,
+                        "\u{200b}".repeat(attempt as usize)
+                    ),
+                    ..req.clone()
+                }
+            };
+            let reply = self.inner.execute(&salted);
+            total_latency += reply.latency;
+            match reply.result {
+                Ok(result) => {
+                    return ServiceReply {
+                        result: Ok(result),
+                        latency: total_latency,
+                    }
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        ServiceReply {
+            result: Err(last.expect("at least one attempt")),
+            latency: total_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsq_pump::{RequestKind, SearchResult};
+
+    struct Always(u64);
+    impl SearchService for Always {
+        fn execute(&self, _req: &SearchRequest) -> ServiceReply {
+            ServiceReply::instant(SearchResult::Count(self.0))
+        }
+    }
+
+    fn req(expr: &str) -> SearchRequest {
+        SearchRequest {
+            engine: "AV".into(),
+            expr: expr.into(),
+            kind: RequestKind::Count,
+        }
+    }
+
+    #[test]
+    fn flaky_is_deterministic_and_proportional() {
+        let flaky = FlakyService::new(Arc::new(Always(7)), 300, 42);
+        let outcomes: Vec<bool> = (0..500)
+            .map(|i| flaky.would_fail(&req(&format!("q{i}"))))
+            .collect();
+        // Deterministic: same answers again.
+        for (i, &o) in outcomes.iter().enumerate() {
+            assert_eq!(flaky.would_fail(&req(&format!("q{i}"))), o);
+        }
+        let failures = outcomes.iter().filter(|&&b| b).count();
+        assert!((100..=200).contains(&failures), "~30% of 500, got {failures}");
+        // Execute matches the oracle.
+        for i in 0..50 {
+            let r = flaky.execute(&req(&format!("q{i}")));
+            assert_eq!(r.result.is_err(), outcomes[i]);
+        }
+    }
+
+    #[test]
+    fn zero_and_total_failure_rates() {
+        let never = FlakyService::new(Arc::new(Always(1)), 0, 1);
+        assert!(never.execute(&req("x")).result.is_ok());
+        let always = FlakyService::new(Arc::new(Always(1)), 1000, 1);
+        assert!(always.execute(&req("x")).result.is_err());
+        assert_eq!(always.stats().failures, 1);
+    }
+
+    #[test]
+    fn retry_recovers_from_flakes() {
+        let flaky = FlakyService::new(Arc::new(Always(9)), 300, 7);
+        let retry = RetryService::new(flaky.clone(), 8);
+        // With 30% failure and 8 salted attempts, a full failing chain has
+        // probability 0.3^8 ≈ 7e-5 per request; the fixed seed has none.
+        for i in 0..100 {
+            let r = retry.execute(&req(&format!("r{i}")));
+            assert!(r.result.is_ok(), "request r{i} failed after retries");
+        }
+        assert!(flaky.stats().failures > 10, "flakes did occur");
+    }
+
+    #[test]
+    fn retry_salt_is_semantically_invisible_to_the_engine() {
+        // The salted retry expression must evaluate identically to the
+        // original on a real engine (the salt is whitespace-class only).
+        use crate::{CorpusConfig, EngineKind, SimWeb};
+        let web = SimWeb::build(CorpusConfig::small());
+        let av = web.engine(EngineKind::AltaVista);
+        // Force failures on first attempts so retries actually happen.
+        let flaky = FlakyService::new(av.clone(), 500, 99);
+        let retry = RetryService::new(flaky, 10);
+        for expr in ["Utah", "Colorado near \"four corners\"", "\"New Mexico\""] {
+            let direct = av.count(expr);
+            let via_retry = retry
+                .execute(&SearchRequest {
+                    engine: "AV".into(),
+                    expr: expr.into(),
+                    kind: RequestKind::Count,
+                })
+                .result
+                .unwrap()
+                .count()
+                .unwrap();
+            assert_eq!(via_retry, direct, "salt changed semantics of {expr:?}");
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_the_error() {
+        let always_fail = FlakyService::new(Arc::new(Always(1)), 1000, 1);
+        let retry = RetryService::new(always_fail, 3);
+        let r = retry.execute(&req("doomed"));
+        assert!(r.result.unwrap_err().to_string().contains("503"));
+    }
+}

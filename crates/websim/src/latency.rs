@@ -1,0 +1,88 @@
+//! Simulated network latency models.
+//!
+//! The paper's measurements depend on search-engine latency ("one or more
+//! seconds" in 1999) dominating query time. We model it explicitly and
+//! *deterministically*: jitter is derived from a hash of the request
+//! expression, so a given (seed, query) pair always observes the same
+//! latency — experiments are exactly reproducible, standing in for the
+//! paper's "late at night when load is consistent" protocol.
+
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+/// A latency model for a simulated search engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// No latency (fast deterministic tests).
+    Zero,
+    /// Constant latency per request.
+    Fixed(Duration),
+    /// `base` plus a deterministic pseudo-random extra in `[0, jitter)`,
+    /// keyed on the request expression.
+    Jitter {
+        /// Minimum latency.
+        base: Duration,
+        /// Upper bound of the additional latency.
+        jitter: Duration,
+    },
+}
+
+impl LatencyModel {
+    /// Sample the latency for a request identified by `key`.
+    pub fn sample(&self, key: &str) -> Duration {
+        match self {
+            LatencyModel::Zero => Duration::ZERO,
+            LatencyModel::Fixed(d) => *d,
+            LatencyModel::Jitter { base, jitter } => {
+                if jitter.is_zero() {
+                    return *base;
+                }
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                key.hash(&mut h);
+                let frac = (h.finish() % 10_000) as f64 / 10_000.0;
+                *base + Duration::from_secs_f64(jitter.as_secs_f64() * frac)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_fixed() {
+        assert_eq!(LatencyModel::Zero.sample("x"), Duration::ZERO);
+        assert_eq!(
+            LatencyModel::Fixed(Duration::from_millis(30)).sample("x"),
+            Duration::from_millis(30)
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let m = LatencyModel::Jitter {
+            base: Duration::from_millis(100),
+            jitter: Duration::from_millis(50),
+        };
+        let a = m.sample("colorado");
+        let b = m.sample("colorado");
+        assert_eq!(a, b, "same key, same latency");
+        assert!(a >= Duration::from_millis(100));
+        assert!(a < Duration::from_millis(150));
+        // Different keys generally differ.
+        let keys = ["a", "b", "c", "d", "e", "f"];
+        let distinct: std::collections::HashSet<Duration> =
+            keys.iter().map(|k| m.sample(k)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn zero_jitter_degenerates_to_base() {
+        let m = LatencyModel::Jitter {
+            base: Duration::from_millis(10),
+            jitter: Duration::ZERO,
+        };
+        assert_eq!(m.sample("k"), Duration::from_millis(10));
+    }
+}

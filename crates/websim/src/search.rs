@@ -1,0 +1,331 @@
+//! Search-expression parsing and evaluation over the corpus index.
+//!
+//! The expression language matches what WSQ needs from 1999-era engines:
+//! bare keywords, `"quoted phrases"`, and the `NEAR` proximity connective
+//! (AltaVista supported `NEAR`; Google did not — its engine personality
+//! treats all phrases as an `AND` query, which is why the paper's default
+//! `SearchExp` differs per engine).
+
+use crate::corpus::Corpus;
+use crate::symbols::tokenize;
+use std::collections::HashMap;
+
+/// How a multi-phrase query combines its phrases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connective {
+    /// Consecutive phrases must occur within the proximity window.
+    Near,
+    /// All phrases must occur somewhere in the page.
+    And,
+}
+
+/// A parsed search expression: a list of phrases plus a connective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebQuery {
+    /// Each phrase is a sequence of normalized words.
+    pub phrases: Vec<Vec<String>>,
+    /// Combination semantics.
+    pub connective: Connective,
+}
+
+/// Parse a search expression.
+///
+/// * Quoted segments (`"four corners"`) become multi-word phrases.
+/// * The bare word `near` (case-insensitive) is a connective when
+///   `support_near` is true; otherwise it is an ordinary keyword.
+/// * Any unquoted word is a one-word phrase.
+///
+/// If at least one `near` connective appears, the whole query uses
+/// [`Connective::Near`] chain semantics (the paper's default `SearchExp`
+/// is `"%1 near %2 near … near %n"`); otherwise [`Connective::And`].
+pub fn parse_query(expr: &str, support_near: bool) -> WebQuery {
+    let mut phrases: Vec<Vec<String>> = Vec::new();
+    let mut connective = Connective::And;
+    let mut rest = expr;
+    while !rest.is_empty() {
+        rest = rest.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        if let Some(stripped) = rest.strip_prefix('"') {
+            let end = stripped.find('"').unwrap_or(stripped.len());
+            let inner = &stripped[..end];
+            let words = tokenize(inner);
+            if !words.is_empty() {
+                phrases.push(words);
+            }
+            rest = stripped.get(end + 1..).unwrap_or("");
+        } else {
+            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            let word = &rest[..end];
+            if support_near && word.eq_ignore_ascii_case("near") {
+                connective = Connective::Near;
+            } else {
+                let words = tokenize(word);
+                if !words.is_empty() {
+                    phrases.push(words);
+                }
+            }
+            rest = &rest[end..];
+        }
+    }
+    WebQuery {
+        phrases,
+        connective,
+    }
+}
+
+/// A page matching a query, with its total phrase-occurrence count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMatch {
+    /// Page index into the corpus.
+    pub page: u32,
+    /// Total phrase occurrences (term-frequency signal for ranking).
+    pub occurrences: u32,
+}
+
+/// All start positions of `words` (as a consecutive phrase) per page.
+fn phrase_occurrences(corpus: &Corpus, words: &[String]) -> HashMap<u32, Vec<u32>> {
+    let mut out: HashMap<u32, Vec<u32>> = HashMap::new();
+    let Some(first_sym) = corpus.symbols.get(&words[0]) else {
+        return out;
+    };
+    let Some(first_postings) = corpus.index.get(&first_sym) else {
+        return out;
+    };
+    // Resolve the rest of the phrase to symbols up front; an unknown word
+    // means the phrase occurs nowhere.
+    let mut rest_syms = Vec::with_capacity(words.len() - 1);
+    for w in &words[1..] {
+        match corpus.symbols.get(w) {
+            Some(s) => rest_syms.push(s),
+            None => return out,
+        }
+    }
+    for posting in first_postings {
+        let page_terms = &corpus.pages[posting.page as usize].terms;
+        let mut starts = Vec::new();
+        'pos: for &p in &posting.positions {
+            for (k, &sym) in rest_syms.iter().enumerate() {
+                let idx = p as usize + k + 1;
+                if idx >= page_terms.len() || page_terms[idx] != sym {
+                    continue 'pos;
+                }
+            }
+            starts.push(p);
+        }
+        if !starts.is_empty() {
+            out.insert(posting.page, starts);
+        }
+    }
+    out
+}
+
+/// Evaluate a query, returning matching pages (unsorted).
+pub fn evaluate(corpus: &Corpus, query: &WebQuery) -> Vec<PageMatch> {
+    if query.phrases.is_empty() {
+        return Vec::new();
+    }
+    let occ: Vec<HashMap<u32, Vec<u32>>> = query
+        .phrases
+        .iter()
+        .map(|p| phrase_occurrences(corpus, p))
+        .collect();
+
+    // Candidate pages: intersection, driven by the smallest map.
+    let smallest = occ
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, m)| m.len())
+        .map(|(i, _)| i)
+        .expect("non-empty phrase list");
+
+    let mut matches = Vec::new();
+    'pages: for &page in occ[smallest].keys() {
+        for m in &occ {
+            if !m.contains_key(&page) {
+                continue 'pages;
+            }
+        }
+        if query.connective == Connective::Near && occ.len() > 1 {
+            // Chain semantics: consecutive phrases within the window.
+            let w = corpus.near_window as i64;
+            for pair in occ.windows(2) {
+                let a = &pair[0][&page];
+                let b = &pair[1][&page];
+                let close = a.iter().any(|&pa| {
+                    b.iter().any(|&pb| (pa as i64 - pb as i64).abs() <= w)
+                });
+                if !close {
+                    continue 'pages;
+                }
+            }
+        }
+        let occurrences: u32 = occ.iter().map(|m| m[&page].len() as u32).sum();
+        matches.push(PageMatch { page, occurrences });
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusConfig, Page};
+    use crate::symbols::SymbolTable;
+
+    /// Hand-built corpus for precise matching semantics.
+    fn tiny() -> Corpus {
+        let mut symbols = SymbolTable::new();
+        let mut pages = Vec::new();
+        let mut add = |symbols: &mut SymbolTable, text: &str| {
+            let terms: Vec<u32> = tokenize(text).iter().map(|w| symbols.intern(w)).collect();
+            pages.push(Page {
+                url: format!("www.p{}.test/", pages.len()),
+                date: "1999-10-01".into(),
+                terms,
+                av_auth: 0.5,
+                g_auth: 0.5,
+            });
+        };
+        add(&mut symbols, "welcome to colorado four corners monument");
+        add(&mut symbols, "colorado ski resorts and hotels");
+        add(
+            &mut symbols,
+            "four corners area guide utah arizona new mexico",
+        );
+        add(&mut symbols, "corners of the world four continents"); // "four corners" NOT adjacent
+        add(&mut symbols, "new mexico santa fe travel");
+        let index = {
+            let mut idx: std::collections::HashMap<u32, Vec<crate::corpus::Posting>> =
+                Default::default();
+            for (pid, page) in pages.iter().enumerate() {
+                for (pos, &t) in page.terms.iter().enumerate() {
+                    let ps = idx.entry(t).or_default();
+                    match ps.last_mut() {
+                        Some(p) if p.page == pid as u32 => p.positions.push(pos as u32),
+                        _ => ps.push(crate::corpus::Posting {
+                            page: pid as u32,
+                            positions: vec![pos as u32],
+                        }),
+                    }
+                }
+            }
+            idx
+        };
+        Corpus {
+            symbols,
+            pages,
+            index,
+            near_window: 5,
+        }
+    }
+
+    fn pages_of(matches: &[PageMatch]) -> Vec<u32> {
+        let mut v: Vec<u32> = matches.iter().map(|m| m.page).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn parse_keywords_phrases_and_near() {
+        let q = parse_query("Colorado near \"four corners\"", true);
+        assert_eq!(q.connective, Connective::Near);
+        assert_eq!(
+            q.phrases,
+            vec![vec!["colorado".to_string()], vec!["four".into(), "corners".into()]]
+        );
+
+        let q = parse_query("\"new mexico\" computer", true);
+        assert_eq!(q.connective, Connective::And);
+        assert_eq!(q.phrases.len(), 2);
+
+        // Without NEAR support, `near` is just a keyword.
+        let q = parse_query("a near b", false);
+        assert_eq!(q.connective, Connective::And);
+        assert_eq!(q.phrases.len(), 3);
+
+        // Unterminated quote: everything to the end is the phrase.
+        let q = parse_query("\"four corners", true);
+        assert_eq!(q.phrases, vec![vec!["four".to_string(), "corners".into()]]);
+
+        // Empty expressions parse to zero phrases.
+        assert!(parse_query("", true).phrases.is_empty());
+        assert!(parse_query("\"\"", true).phrases.is_empty());
+    }
+
+    #[test]
+    fn single_keyword_matches_all_containing_pages() {
+        let c = tiny();
+        let q = parse_query("colorado", true);
+        assert_eq!(pages_of(&evaluate(&c, &q)), vec![0, 1]);
+    }
+
+    #[test]
+    fn phrase_requires_adjacency() {
+        let c = tiny();
+        let q = parse_query("\"four corners\"", true);
+        // Page 3 has both words but not adjacent.
+        assert_eq!(pages_of(&evaluate(&c, &q)), vec![0, 2]);
+        let q = parse_query("\"new mexico\"", true);
+        assert_eq!(pages_of(&evaluate(&c, &q)), vec![2, 4]);
+    }
+
+    #[test]
+    fn near_requires_proximity() {
+        let c = tiny(); // window = 5
+        let q = parse_query("colorado near \"four corners\"", true);
+        // Page 0: colorado at 2, "four corners" at 3 → within 5. Page 2
+        // lacks colorado; page 1 lacks the phrase.
+        assert_eq!(pages_of(&evaluate(&c, &q)), vec![0]);
+        // utah near "four corners": page 2 has utah at 4, phrase at 0 → 4 ≤ 5.
+        let q = parse_query("utah near \"four corners\"", true);
+        assert_eq!(pages_of(&evaluate(&c, &q)), vec![2]);
+    }
+
+    #[test]
+    fn near_chain_of_three() {
+        let c = tiny();
+        let q = parse_query("utah near arizona near \"new mexico\"", true);
+        assert_eq!(pages_of(&evaluate(&c, &q)), vec![2]);
+    }
+
+    #[test]
+    fn and_ignores_distance() {
+        let c = tiny();
+        let q = parse_query("corners continents", true);
+        assert_eq!(pages_of(&evaluate(&c, &q)), vec![3]);
+    }
+
+    #[test]
+    fn unknown_word_matches_nothing() {
+        let c = tiny();
+        assert!(evaluate(&c, &parse_query("zanzibar", true)).is_empty());
+        assert!(evaluate(&c, &parse_query("\"colorado zanzibar\"", true)).is_empty());
+        assert!(evaluate(&c, &parse_query("", true)).is_empty());
+    }
+
+    #[test]
+    fn occurrence_counts_sum_over_phrases() {
+        let c = tiny();
+        let q = parse_query("four corners", true); // two 1-word phrases, AND
+        let m = evaluate(&c, &q);
+        let page3 = m.iter().find(|m| m.page == 3).unwrap();
+        // "four" ×2? page 3 = "corners of the world four continents": four ×1, corners ×1.
+        assert_eq!(page3.occurrences, 2);
+    }
+
+    #[test]
+    fn generated_corpus_four_corners_shape() {
+        // The marquee Query 3 shape on a real generated corpus: the four
+        // corner states dominate, with a dramatic dropoff to the rest.
+        let c = Corpus::generate(&CorpusConfig::small());
+        let count = |expr: &str| evaluate(&c, &parse_query(expr, true)).len();
+        let co = count("colorado near \"four corners\"");
+        let nm = count("\"new mexico\" near \"four corners\"");
+        let az = count("arizona near \"four corners\"");
+        let ut = count("utah near \"four corners\"");
+        let ca = count("california near \"four corners\"");
+        assert!(co > nm && nm > az && az > ut, "{co} {nm} {az} {ut}");
+        assert!(ut > ca, "dropoff missing: ut={ut} ca={ca}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Term interning and tokenization.
+
+use std::collections::HashMap;
+
+/// Interns terms as dense `u32` symbols, keeping the corpus and inverted
+/// index compact (string comparisons happen only at the boundary).
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term` (must already be normalized), returning its symbol.
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&s) = self.map.get(term) {
+            return s;
+        }
+        let s = self.names.len() as u32;
+        self.map.insert(term.to_string(), s);
+        self.names.push(term.to_string());
+        s
+    }
+
+    /// Look up a normalized term without interning.
+    pub fn get(&self, term: &str) -> Option<u32> {
+        self.map.get(term).copied()
+    }
+
+    /// The term for a symbol.
+    pub fn name(&self, sym: u32) -> &str {
+        &self.names[sym as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Normalize text into lowercase alphanumeric word tokens.
+///
+/// `"St. Paul"` → `["st", "paul"]`; `"SIGMOD'99"` → `["sigmod", "99"]`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("colorado");
+        let b = t.intern("colorado");
+        let c = t.intern("denver");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.name(a), "colorado");
+        assert_eq!(t.get("denver"), Some(c));
+        assert_eq!(t.get("utah"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn tokenize_normalizes() {
+        assert_eq!(tokenize("St. Paul"), vec!["st", "paul"]);
+        assert_eq!(tokenize("Four Corners!"), vec!["four", "corners"]);
+        assert_eq!(tokenize("SIGMOD'99 rocks"), vec!["sigmod", "99", "rocks"]);
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+        assert_eq!(tokenize("a"), vec!["a"]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the search substrate: the inverted-index evaluator
+//! must agree with a brute-force reference matcher on random corpora and
+//! random queries.
+
+use proptest::prelude::*;
+use wsq_websim::corpus::{Corpus, Page, Posting};
+use wsq_websim::search::{evaluate, Connective, WebQuery};
+use wsq_websim::symbols::SymbolTable;
+use std::collections::HashMap;
+
+/// Small vocabulary so collisions and co-occurrence are common.
+const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "echo", "fox"];
+
+fn build_corpus(pages: &[Vec<usize>], window: u32) -> Corpus {
+    let mut symbols = SymbolTable::new();
+    let word_syms: Vec<u32> = WORDS.iter().map(|w| symbols.intern(w)).collect();
+    let mut built = Vec::new();
+    let mut index: HashMap<u32, Vec<Posting>> = HashMap::new();
+    for (pid, words) in pages.iter().enumerate() {
+        let terms: Vec<u32> = words.iter().map(|&w| word_syms[w % WORDS.len()]).collect();
+        for (pos, &t) in terms.iter().enumerate() {
+            let ps = index.entry(t).or_default();
+            match ps.last_mut() {
+                Some(p) if p.page == pid as u32 => p.positions.push(pos as u32),
+                _ => ps.push(Posting {
+                    page: pid as u32,
+                    positions: vec![pos as u32],
+                }),
+            }
+        }
+        built.push(Page {
+            url: format!("www.p{pid}.test/"),
+            date: "1999-01-01".into(),
+            terms,
+            av_auth: 0.5,
+            g_auth: 0.5,
+        });
+    }
+    Corpus {
+        symbols,
+        pages: built,
+        index,
+        near_window: window,
+    }
+}
+
+/// Brute-force reference: all start positions of `phrase` in `page`.
+fn phrase_starts(page: &[usize], phrase: &[usize]) -> Vec<i64> {
+    if phrase.is_empty() || phrase.len() > page.len() {
+        return vec![];
+    }
+    (0..=page.len() - phrase.len())
+        .filter(|&s| {
+            phrase
+                .iter()
+                .enumerate()
+                .all(|(k, &w)| page[s + k] % WORDS.len() == w % WORDS.len())
+        })
+        .map(|s| s as i64)
+        .collect()
+}
+
+/// Brute-force query evaluation.
+fn reference_matches(
+    pages: &[Vec<usize>],
+    phrases: &[Vec<usize>],
+    connective: Connective,
+    window: u32,
+) -> Vec<u32> {
+    let mut out = Vec::new();
+    'pages: for (pid, page) in pages.iter().enumerate() {
+        let occ: Vec<Vec<i64>> = phrases.iter().map(|p| phrase_starts(page, p)).collect();
+        if occ.iter().any(|o| o.is_empty()) {
+            continue;
+        }
+        if connective == Connective::Near && phrases.len() > 1 {
+            for pair in occ.windows(2) {
+                let close = pair[0]
+                    .iter()
+                    .any(|&a| pair[1].iter().any(|&b| (a - b).abs() <= window as i64));
+                if !close {
+                    continue 'pages;
+                }
+            }
+        }
+        out.push(pid as u32);
+    }
+    out
+}
+
+fn arb_pages() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0..WORDS.len(), 0..20), 1..20)
+}
+
+fn arb_phrases() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0..WORDS.len(), 1..3), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn index_evaluator_matches_brute_force(
+        pages in arb_pages(),
+        phrases in arb_phrases(),
+        near in any::<bool>(),
+        window in 1u32..6,
+    ) {
+        let corpus = build_corpus(&pages, window);
+        let connective = if near { Connective::Near } else { Connective::And };
+        let query = WebQuery {
+            phrases: phrases
+                .iter()
+                .map(|p| p.iter().map(|&w| WORDS[w].to_string()).collect())
+                .collect(),
+            connective,
+        };
+        let mut got: Vec<u32> = evaluate(&corpus, &query).iter().map(|m| m.page).collect();
+        got.sort_unstable();
+        let expected = reference_matches(&pages, &phrases, connective, window);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Occurrence counts agree with brute force under AND semantics.
+    #[test]
+    fn occurrence_counts_match_brute_force(
+        pages in arb_pages(),
+        phrase in prop::collection::vec(0..WORDS.len(), 1..3),
+    ) {
+        let corpus = build_corpus(&pages, 5);
+        let query = WebQuery {
+            phrases: vec![phrase.iter().map(|&w| WORDS[w].to_string()).collect()],
+            connective: Connective::And,
+        };
+        for m in evaluate(&corpus, &query) {
+            let expected = phrase_starts(&pages[m.page as usize], &phrase).len() as u32;
+            prop_assert_eq!(m.occurrences, expected);
+        }
+    }
+}

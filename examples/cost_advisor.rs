@@ -1,0 +1,77 @@
+//! The asynchronous-iteration cost model (the paper's §4.5 future work):
+//! predict each query's synchronous and asynchronous wall time, then
+//! measure both and compare.
+//!
+//! ```sh
+//! cargo run --release --example cost_advisor
+//! ```
+
+use std::time::{Duration, Instant};
+use wsq_engine::cost::CostParams;
+use wsqdsq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let latency_ms = 20u64;
+    let mut config = WsqConfig::default();
+    config.latency = LatencyModel::Fixed(Duration::from_millis(latency_ms));
+    let mut wsq = Wsq::open_in_memory(config)?;
+    wsq.load_reference_data()?;
+
+    let params = CostParams {
+        latency_secs: latency_ms as f64 / 1000.0,
+        max_concurrent: 64,
+        ..CostParams::default()
+    };
+
+    let queries = [
+        (
+            "Q1: one WebCount call per state",
+            "SELECT Name, Count FROM States, WebCount WHERE Name = T1",
+        ),
+        (
+            "Q2: two calls per state",
+            "SELECT Name, Count, URL FROM States, WebCount, WebPages \
+             WHERE Name = WebCount.T1 AND Name = WebPages.T1 AND WebPages.Rank <= 2",
+        ),
+        (
+            "chained: WebPages URLs feed a second WebCount (two waves)",
+            "SELECT S.URL, WC.Count FROM States, WebPages S, WebCount WC \
+             WHERE Name = S.T1 AND S.Rank <= 2 AND WC.T1 = S.URL \
+             AND Population > 15000000",
+        ),
+    ];
+
+    println!(
+        "{:<62}{:>10}{:>10}{:>10}{:>10}",
+        "query", "est sync", "sync", "est async", "async"
+    );
+    for (label, sql) in queries {
+        let est = wsq.db().estimate_query(
+            sql,
+            wsq.engines(),
+            QueryOptions::default(),
+            &params,
+        )?;
+        let t0 = Instant::now();
+        wsq.query_with(
+            sql,
+            QueryOptions {
+                mode: ExecutionMode::Synchronous,
+                ..Default::default()
+            },
+        )?;
+        let sync = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        wsq.query(sql)?;
+        let asynch = t0.elapsed().as_secs_f64();
+        println!(
+            "{label:<62}{:>9.2}s{:>9.2}s{:>9.3}s{:>9.3}s",
+            est.sync_secs, sync, est.async_secs, asynch
+        );
+        println!(
+            "{:<62}(calls={:.0}, waves={}, predicted improvement {:.1}x)",
+            "", est.external_calls, est.waves, est.improvement()
+        );
+    }
+    Ok(())
+}

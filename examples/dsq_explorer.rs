@@ -1,0 +1,47 @@
+//! DSQ — Database-Supported Web Queries (paper §1).
+//!
+//! The user searches the Web for "scuba diving"; DSQ uses the database to
+//! *explain* the search: which states, which movies — and which
+//! state/movie pairs — co-occur with the phrase on the Web.
+//!
+//! ```sh
+//! cargo run --release --example dsq_explorer
+//! ```
+
+use wsqdsq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut wsq = Wsq::open_in_memory(WsqConfig::default())?;
+    wsq.load_reference_data()?;
+    let dsq = DsqExplorer::new(&wsq, "AV")?;
+
+    let phrase = "scuba diving";
+    println!("DSQ probe phrase: {phrase:?}\n");
+
+    let states = wsq.column_values("States", "Name")?;
+    let corr = dsq.correlate(phrase, &states)?;
+    println!("States most correlated with {phrase:?}:");
+    for c in corr.iter().take(5) {
+        println!("  {:<16} {}", c.term, c.count);
+    }
+
+    let movies = wsq.column_values("Movies", "Title")?;
+    let corr = dsq.correlate(phrase, &movies)?;
+    println!("\nMovies most correlated with {phrase:?}:");
+    for c in corr.iter().take(5) {
+        println!("  {:<16} {}", c.term, c.count);
+    }
+
+    let pairs = dsq.correlate_pairs(phrase, &states, &movies, 3)?;
+    println!("\nState/movie/{phrase:?} triples (the paper's 'underwater thriller filmed in Florida'):");
+    for p in pairs.iter().take(5) {
+        println!("  {:<12} × {:<14} {}", p.a, p.b, p.count);
+    }
+
+    println!(
+        "\n{} concurrent searches issued, peak in-flight {}",
+        wsq.pump().stats().launched,
+        wsq.pump().stats().peak_in_flight
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: open a WSQ instance, load the reference tables, and run a
+//! Web-supported SQL query.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wsqdsq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An in-memory database over a freshly generated synthetic Web.
+    // `WsqConfig::default()` uses the full 20k-page corpus with zero
+    // simulated latency; see `paper_like()` for latency experiments.
+    let mut wsq = Wsq::open_in_memory(WsqConfig::default())?;
+
+    // `States(Name, Population, Capital)` + Sigs/CSFields/Movies.
+    wsq.load_reference_data()?;
+
+    // Paper Section 3.1, Query 1: rank states by how often they are
+    // mentioned by name on the Web. `WebCount` is a *virtual table* —
+    // every row is a live search-engine call.
+    let sql = "SELECT Name, Count FROM States, WebCount \
+               WHERE Name = T1 ORDER BY Count DESC, Name LIMIT 10";
+
+    println!("Query:\n  {sql}\n");
+    println!("Plan (asynchronous iteration):\n{}", wsq.explain(sql)?);
+
+    let result = wsq.query(sql)?;
+    println!("{}", result.to_table());
+
+    // The same query can run the conventional way — every search blocks
+    // the query processor. Same answer, radically different latency when
+    // the engine is slow (see the `table1` benchmark).
+    let sync = QueryOptions {
+        mode: ExecutionMode::Synchronous,
+        ..Default::default()
+    };
+    let sync_result = wsq.query_with(sql, sync)?;
+    assert_eq!(result.rows, sync_result.rows);
+    println!("Synchronous execution returned identical rows. ✓");
+
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! An interactive WSQ shell, in the spirit of the paper's Web demo
+//! ("a simple interface that allows users to pose limited queries over our
+//! WSQ implementation").
+//!
+//! ```sh
+//! cargo run --release --example repl
+//! ```
+//!
+//! Commands:
+//! * any SQL statement (`;`-terminated or single-line)
+//! * `.explain <select>` — show the (transformed) physical plan
+//! * `.analyze <select>` — run it and show per-operator runtime stats
+//! * `.mode sync|async|parallel` — switch execution mode
+//! * `.tables`           — list stored tables
+//! * `.stats`            — pump & buffer-pool statistics
+//! * `.quit`
+
+use std::io::{self, BufRead, Write};
+use wsqdsq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut wsq = Wsq::open_in_memory(WsqConfig::default())?;
+    wsq.load_reference_data()?;
+    println!(
+        "WSQ/DSQ shell — tables: States, Sigs, CSFields, Movies; \
+         virtual: WebCount[_AV|_Google], WebPages[_AV|_Google]"
+    );
+    println!("Try: SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC LIMIT 5");
+
+    let stdin = io::stdin();
+    let mut out = io::stdout();
+    loop {
+        print!("wsq> ");
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ".quit" || line == ".exit" {
+            break;
+        }
+        if line == ".tables" {
+            println!("{}", wsq.db().catalog().table_names().join(", "));
+            continue;
+        }
+        if line == ".stats" {
+            println!("pump: {:?}", wsq.pump().stats());
+            println!("pool: {:?}", wsq.db().pool_stats());
+            continue;
+        }
+        if let Some(mode) = line.strip_prefix(".mode") {
+            match mode.trim() {
+                "sync" => wsq.options_mut().mode = ExecutionMode::Synchronous,
+                "async" => wsq.options_mut().mode = ExecutionMode::Asynchronous,
+                "parallel" => wsq.options_mut().mode = ExecutionMode::ParallelJoins,
+                other => {
+                    println!("unknown mode '{other}' (sync|async|parallel)");
+                    continue;
+                }
+            }
+            println!("ok");
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix(".explain") {
+            match wsq.explain(sql.trim()) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix(".analyze") {
+            match wsq.analyze(sql.trim()) {
+                Ok((rows, report)) => {
+                    println!("{report}");
+                    println!("({} rows)", rows.rows.len());
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let started = std::time::Instant::now();
+        match wsq.execute(line) {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        wsq_core::StatementResult::Rows(rows) => {
+                            print!("{}", rows.to_table());
+                            println!("({} rows in {:?})", rows.rows.len(), started.elapsed());
+                        }
+                        wsq_core::StatementResult::Affected(n) => {
+                            println!("ok ({n} rows affected)");
+                        }
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The six example queries of paper Section 3.1, reproduced over the
+//! synthetic Web corpus.
+//!
+//! ```sh
+//! cargo run --release --example states_web
+//! ```
+
+use wsqdsq::prelude::*;
+
+fn run(wsq: &mut Wsq, title: &str, sql: &str, limit: usize) {
+    println!("=== {title}");
+    println!("{sql}\n");
+    match wsq.query(sql) {
+        Ok(result) => {
+            let shown = QueryResult {
+                schema: result.schema.clone(),
+                rows: result.rows.iter().take(limit).cloned().collect(),
+            };
+            println!("{}", shown.to_table());
+            if result.rows.len() > limit {
+                println!("... ({} rows total)\n", result.rows.len());
+            }
+        }
+        Err(e) => println!("error: {e}\n"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut wsq = Wsq::open_in_memory(WsqConfig::default())?;
+    wsq.load_reference_data()?;
+
+    run(
+        &mut wsq,
+        "Query 1: Rank all states by how often they appear by name on the Web",
+        "SELECT Name, Count FROM States, WebCount \
+         WHERE Name = T1 ORDER BY Count DESC, Name",
+        5,
+    );
+
+    run(
+        &mut wsq,
+        "Query 2: Rank states by Web mentions, normalized by population",
+        "SELECT Name, Count * 1000000 / Population AS C FROM States, WebCount \
+         WHERE Name = T1 ORDER BY C DESC, Name",
+        5,
+    );
+
+    run(
+        &mut wsq,
+        "Query 3: Rank states by mentions near the phrase 'four corners'",
+        "SELECT Name, Count FROM States, WebCount \
+         WHERE Name = T1 AND T2 = 'four corners' ORDER BY Count DESC, Name",
+        5,
+    );
+
+    run(
+        &mut wsq,
+        "Query 4: Which state capitals appear on the Web more often than the state?",
+        "SELECT Capital, C.Count AS CapitalCount, Name, S.Count AS StateCount \
+         FROM States, WebCount C, WebCount S \
+         WHERE Capital = C.T1 AND Name = S.T1 AND C.Count > S.Count \
+         ORDER BY CapitalCount DESC",
+        10,
+    );
+
+    run(
+        &mut wsq,
+        "Query 5: Get the top two URLs for each state",
+        "SELECT Name, URL, Rank FROM States, WebPages \
+         WHERE Name = T1 AND Rank <= 2 ORDER BY Name, Rank",
+        6,
+    );
+
+    run(
+        &mut wsq,
+        "Query 6: URLs both AltaVista and Google place in a state's top 5",
+        "SELECT Name, AV.URL FROM States, WebPages_AV AV, WebPages_Google G \
+         WHERE Name = AV.T1 AND Name = G.T1 AND AV.Rank <= 5 AND G.Rank <= 5 \
+         AND AV.URL = G.URL ORDER BY Name",
+        20,
+    );
+
+    println!(
+        "pump stats: {:?}\nleaked calls: {}",
+        wsq.pump().stats(),
+        wsq.pump().live_calls()
+    );
+    Ok(())
+}

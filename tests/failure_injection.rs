@@ -1,0 +1,99 @@
+//! Failure injection across the whole stack: flaky search engines must
+//! fail queries *cleanly* (error surfaced, nothing leaked, instance still
+//! usable) in every execution mode, and a retry decorator must restore
+//! availability.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wsqdsq::prelude::*;
+use wsqdsq::websim::{FlakyService, RetryService};
+
+const QUERY: &str = "SELECT Name, Count FROM States, WebCount_Shaky \
+                     WHERE Name = T1 ORDER BY Count DESC, Name";
+
+fn wsq_with_flaky(permille: u32, retries: Option<u32>) -> (Wsq, Arc<FlakyService>) {
+    let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+    wsq.load_reference_data().unwrap();
+    let inner = wsq.web().engine(EngineKind::AltaVista);
+    let flaky = FlakyService::new(inner, permille, 1234);
+    let service: Arc<dyn wsq_pump::SearchService> = match retries {
+        Some(n) => RetryService::new(flaky.clone(), n),
+        None => flaky.clone(),
+    };
+    wsq.register_engine("Shaky", service, true);
+    (wsq, flaky)
+}
+
+#[test]
+fn flaky_engine_fails_queries_cleanly_in_all_modes() {
+    // 100% failure: the query must error in every mode, leak nothing, and
+    // leave the instance usable.
+    let (mut wsq, flaky) = wsq_with_flaky(1000, None);
+    for mode in [
+        ExecutionMode::Synchronous,
+        ExecutionMode::Asynchronous,
+        ExecutionMode::ParallelJoins,
+    ] {
+        let err = wsq
+            .query_with(
+                QUERY,
+                QueryOptions {
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("503"), "{mode:?}: {err}");
+        // Released-in-flight registrations clear after delivery.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while wsq.pump().live_calls() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(wsq.pump().live_calls(), 0, "{mode:?} leaked calls");
+    }
+    assert!(flaky.stats().failures >= 3);
+    // The instance still answers healthy queries.
+    let r = wsq
+        .query("SELECT COUNT(*) FROM States")
+        .unwrap();
+    assert_eq!(r.rows[0].get(0).as_int().unwrap(), 50);
+    // And the healthy default engine still works.
+    let r = wsq
+        .query("SELECT Count FROM WebCount WHERE T1 = 'Utah'")
+        .unwrap();
+    assert!(r.rows[0].get(0).as_int().unwrap() > 0);
+}
+
+#[test]
+fn partial_flakiness_fails_the_query_not_the_process() {
+    // 30% failure: 50 calls virtually guarantee at least one failure; the
+    // query errors deterministically (same seed → same flakes).
+    let (mut wsq, _flaky) = wsq_with_flaky(300, None);
+    let e1 = wsq.query(QUERY).unwrap_err().to_string();
+    let e2 = wsq.query(QUERY).unwrap_err().to_string();
+    // The injected flakes are deterministic, so the query fails every
+    // time — but asynchronous completion order decides *which* failed
+    // call surfaces first, so only the error class is stable.
+    assert!(e1.contains("503"), "{e1}");
+    assert!(e2.contains("503"), "{e2}");
+}
+
+#[test]
+fn retries_restore_availability() {
+    let (mut wsq, flaky) = wsq_with_flaky(300, Some(6));
+    let r = wsq.query(QUERY).unwrap();
+    assert_eq!(r.rows.len(), 50);
+    let stats = flaky.stats();
+    assert!(stats.failures > 0, "flakes should have occurred");
+    assert!(stats.successes >= 50);
+    assert_eq!(wsq.pump().live_calls(), 0);
+}
+
+#[test]
+fn dsq_over_flaky_engine_with_retries() {
+    let (mut wsq, _) = wsq_with_flaky(200, Some(6));
+    let dsq = DsqExplorer::new(&wsq, "Shaky").unwrap();
+    let states = wsq.column_values("States", "Name").unwrap();
+    let corr = dsq.correlate("scuba diving", &states).unwrap();
+    assert_eq!(corr[0].term, "Florida");
+}

@@ -1,0 +1,149 @@
+//! Plan-shape tests for the paper's figures (2–8): the EXPLAIN output of
+//! each figure's query must exhibit the documented operator structure.
+
+use wsqdsq::prelude::*;
+
+fn wsq() -> Wsq {
+    let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+    wsq.load_reference_data().unwrap();
+    wsq
+}
+
+fn sync_opts() -> QueryOptions {
+    QueryOptions {
+        mode: ExecutionMode::Synchronous,
+        ..Default::default()
+    }
+}
+
+fn count_occurrences(text: &str, needle: &str) -> usize {
+    text.matches(needle).count()
+}
+
+/// Figure 2: sequential plan for Sigs ⋈ WebCount under a Sort.
+#[test]
+fn figure_2_sequential_plan() {
+    let w = wsq();
+    let plan = w
+        .explain_with(
+            "SELECT Name, Count FROM Sigs, WebCount WHERE Name = T1 AND T2 = 'Knuth' \
+             ORDER BY Count DESC",
+            sync_opts(),
+        )
+        .unwrap();
+    assert!(plan.contains("Sort: Count DESC"));
+    assert!(plan.contains("Dependent Join"));
+    assert!(plan.contains("EVScan: WebCount@AV"));
+    assert!(plan.contains("T2 = 'Knuth'"));
+    assert!(!plan.contains("ReqSync"));
+    assert!(!plan.contains("AEVScan"));
+}
+
+/// Figure 3: the asynchronous version — AEVScan + ReqSync below the Sort.
+#[test]
+fn figure_3_asynchronous_plan() {
+    let w = wsq();
+    let plan = w
+        .explain(
+            "SELECT Name, Count FROM Sigs, WebCount WHERE Name = T1 AND T2 = 'Knuth' \
+             ORDER BY Count DESC",
+        )
+        .unwrap();
+    let sort = plan.find("Sort:").unwrap();
+    let sync = plan.find("ReqSync").unwrap();
+    let dj = plan.find("Dependent Join").unwrap();
+    let aev = plan.find("AEVScan").unwrap();
+    assert!(sort < sync && sync < dj && dj < aev, "plan:\n{plan}");
+    assert_eq!(count_occurrences(&plan, "ReqSync"), 1);
+}
+
+/// Figure 4: Sigs ⋈ WebPages with a rank bound.
+#[test]
+fn figure_4_webpages_plan() {
+    let w = wsq();
+    let plan = w
+        .explain("SELECT Name, URL FROM Sigs, WebPages WHERE Name = T1 AND Rank <= 3")
+        .unwrap();
+    assert!(plan.contains("AEVScan: WebPages@AV"));
+    assert!(plan.contains("Rank <= 3"));
+    assert_eq!(count_occurrences(&plan, "ReqSync"), 1);
+}
+
+/// Figure 5 / 6(d): two dependent joins (AV + Google), ONE consolidated
+/// ReqSync above both.
+#[test]
+fn figure_5_consolidated_reqsync() {
+    let w = wsq();
+    let plan = w
+        .explain(
+            "SELECT Name, AV.URL, G.URL FROM Sigs, WebPages_AV AV, WebPages_Google G \
+             WHERE Name = AV.T1 AND Name = G.T1 AND AV.Rank <= 3 AND G.Rank <= 3",
+        )
+        .unwrap();
+    assert_eq!(count_occurrences(&plan, "ReqSync"), 1, "plan:\n{plan}");
+    assert_eq!(count_occurrences(&plan, "AEVScan"), 2);
+    assert_eq!(count_occurrences(&plan, "Dependent Join"), 2);
+    // The consolidated ReqSync covers both engines' attributes.
+    let line = plan.lines().find(|l| l.contains("ReqSync")).unwrap();
+    assert!(line.contains("AV.URL") && line.contains("G.URL"), "{line}");
+}
+
+/// Figure 6(a): the synchronous input plan for the same query.
+#[test]
+fn figure_6a_input_plan() {
+    let w = wsq();
+    let plan = w
+        .explain_with(
+            "SELECT Name, AV.URL, G.URL FROM Sigs, WebPages_AV AV, WebPages_Google G \
+             WHERE Name = AV.T1 AND Name = G.T1 AND AV.Rank <= 3 AND G.Rank <= 3",
+            sync_opts(),
+        )
+        .unwrap();
+    assert_eq!(count_occurrences(&plan, "EVScan"), 2);
+    assert_eq!(count_occurrences(&plan, "ReqSync"), 0);
+}
+
+/// Figure 7: the cross-product-with-R plan; with the InsertionOnly
+/// strategy (7(b)) each dependent join gets its own pinned ReqSync.
+#[test]
+fn figure_7_placement_strategies() {
+    let mut w = wsq();
+    w.execute("CREATE TABLE R (N INT)").unwrap();
+    w.execute("INSERT INTO R VALUES (1), (2)").unwrap();
+    let sql = "SELECT Name, AV.Count, N, G.Count \
+               FROM Sigs, WebCount_AV AV, R, WebCount_Google G \
+               WHERE Name = AV.T1 AND Name = G.T1";
+    // 7(a): full percolation → single ReqSync at the top.
+    let full = w.explain(sql).unwrap();
+    assert_eq!(count_occurrences(&full, "ReqSync"), 1, "plan:\n{full}");
+    assert!(full.contains("Cross-Product"));
+    // 7(b): insertion-only → one ReqSync pinned above each dependent join.
+    let pinned = w
+        .explain_with(
+            sql,
+            QueryOptions {
+                mode: ExecutionMode::Asynchronous,
+                strategy: PlacementStrategy::InsertionOnly,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(count_occurrences(&pinned, "ReqSync"), 2, "plan:\n{pinned}");
+}
+
+/// Figure 8: the Sigs/CSFields URL-intersection query; the URL equi-join
+/// reads placeholder attributes, so it ends up as a selection *above* the
+/// consolidated ReqSync with a cross-product below.
+#[test]
+fn figure_8_select_over_cross_product() {
+    let w = wsq();
+    let sql = "SELECT S.URL FROM Sigs, WebPages S, CSFields, WebPages_AV C \
+               WHERE Sigs.Name = S.T1 AND CSFields.Name = C.T1 \
+               AND S.Rank <= 5 AND C.Rank <= 5 AND S.URL = C.URL";
+    let plan = w.explain(sql).unwrap();
+    let select = plan.find("Select: (S.URL = C.URL)").expect(&plan);
+    let sync = plan.find("ReqSync").unwrap();
+    let cross = plan.find("Cross-Product").unwrap();
+    assert!(select < sync && sync < cross, "plan:\n{plan}");
+    assert_eq!(count_occurrences(&plan, "ReqSync"), 1);
+}

@@ -1,0 +1,114 @@
+//! Time-to-first-row: with the streaming ReqSync (§4.1's
+//! non-materializing variant) and a constrained pump, a cursor delivers
+//! early rows while later external calls are still queued.
+
+use std::time::{Duration, Instant};
+use wsqdsq::prelude::*;
+
+fn slow_wsq(max_concurrent: usize, buffer: BufferMode) -> Wsq {
+    let config = WsqConfig {
+        corpus: CorpusConfig::small(),
+        latency: LatencyModel::Fixed(Duration::from_millis(20)),
+        pump: PumpConfig {
+            max_concurrent,
+            ..PumpConfig::default()
+        },
+        query: QueryOptions {
+            mode: ExecutionMode::Asynchronous,
+            buffer,
+            ..Default::default()
+        },
+        ..WsqConfig::default()
+    };
+    let mut wsq = Wsq::open_in_memory(config).unwrap();
+    wsq.load_reference_data().unwrap();
+    wsq
+}
+
+const QUERY: &str = "SELECT Name, Count FROM States, WebCount WHERE Name = T1";
+
+#[test]
+fn streaming_cursor_yields_first_row_early() {
+    // Pump capacity 1 → 50 calls strictly sequential at 20 ms each:
+    // the full result takes ≥ 1 s, but the first streamed row needs only
+    // about one call.
+    let mut wsq = slow_wsq(1, BufferMode::Streaming);
+    let t0 = Instant::now();
+    let mut cursor = wsq.query_cursor(QUERY).unwrap();
+    let first = cursor.next_row().unwrap().expect("at least one row");
+    let first_at = t0.elapsed();
+    assert!(!first.get(0).as_str().unwrap().is_empty());
+    assert!(
+        first_at < Duration::from_millis(300),
+        "first row took {first_at:?}"
+    );
+    // Drain the rest; the total is dominated by the serialized calls.
+    let mut rows = 1;
+    while cursor.next_row().unwrap().is_some() {
+        rows += 1;
+    }
+    let total = t0.elapsed();
+    assert_eq!(rows, 50);
+    assert!(total >= Duration::from_millis(900), "total only {total:?}");
+    assert!(first_at < total / 3, "first row was not early");
+    assert_eq!(wsq.pump().live_calls(), 0);
+}
+
+#[test]
+fn full_buffering_also_patches_incrementally() {
+    // Full buffering buffers the child's *incomplete tuples* up front, but
+    // completed tuples still flow out as their calls finish (the
+    // producer/consumer protocol of §4.1) — it does NOT wait for every
+    // call before emitting the first row. The mode difference is the
+    // pass-through of already-complete tuples, covered by executor unit
+    // tests.
+    let mut wsq = slow_wsq(1, BufferMode::Full);
+    let t0 = Instant::now();
+    let mut cursor = wsq.query_cursor(QUERY).unwrap();
+    let _first = cursor.next_row().unwrap().expect("row");
+    let first_at = t0.elapsed();
+    let mut rows = 1;
+    while cursor.next_row().unwrap().is_some() {
+        rows += 1;
+    }
+    let total = t0.elapsed();
+    assert_eq!(rows, 50);
+    assert!(total >= Duration::from_millis(900));
+    assert!(
+        first_at < total / 3,
+        "full-buffering ReqSync should still emit incrementally: {first_at:?} of {total:?}"
+    );
+    assert_eq!(wsq.pump().live_calls(), 0);
+}
+
+#[test]
+fn abandoned_cursor_releases_pump_registrations() {
+    let mut wsq = slow_wsq(4, BufferMode::Streaming);
+    let mut cursor = wsq.query_cursor(QUERY).unwrap();
+    // Read a couple of rows, then abandon.
+    cursor.next_row().unwrap().unwrap();
+    cursor.next_row().unwrap().unwrap();
+    cursor.finish().unwrap();
+    // Released registrations may take one in-flight delivery to clear.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while wsq.pump().live_calls() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(wsq.pump().live_calls(), 0);
+}
+
+#[test]
+fn cursor_schema_and_exhaustion() {
+    let mut wsq = slow_wsq(64, BufferMode::Streaming);
+    let mut cursor = wsq
+        .query_cursor("SELECT Name FROM States WHERE Population > 30000000")
+        .unwrap();
+    assert_eq!(cursor.schema().len(), 1);
+    assert_eq!(
+        cursor.next_row().unwrap().unwrap().get(0).as_str().unwrap(),
+        "California"
+    );
+    assert!(cursor.next_row().unwrap().is_none());
+    // Idempotent after exhaustion.
+    assert!(cursor.next_row().unwrap().is_none());
+}
