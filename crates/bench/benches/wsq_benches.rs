@@ -22,9 +22,7 @@ fn bench_engine_search(c: &mut Criterion) {
     let web = SimWeb::build(CorpusConfig::default());
     let av = web.engine(EngineKind::AltaVista);
     let mut g = c.benchmark_group("engine");
-    g.bench_function("count/single_term", |b| {
-        b.iter(|| av.count("California"))
-    });
+    g.bench_function("count/single_term", |b| b.iter(|| av.count("California")));
     g.bench_function("count/near_phrase", |b| {
         b.iter(|| av.count("Colorado near \"four corners\""))
     });
@@ -84,23 +82,19 @@ fn bench_query_execution(c: &mut Criterion) {
             ("sync", ExecutionMode::Synchronous),
             ("async", ExecutionMode::Asynchronous),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(label, template.name()),
-                &sql,
-                |b, sql| {
-                    let mut w = wsq.lock().unwrap();
-                    b.iter(|| {
-                        w.query_with(
-                            sql,
-                            QueryOptions {
-                                mode,
-                                ..Default::default()
-                            },
-                        )
-                        .unwrap()
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, template.name()), &sql, |b, sql| {
+                let mut w = wsq.lock().unwrap();
+                b.iter(|| {
+                    w.query_with(
+                        sql,
+                        QueryOptions {
+                            mode,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            });
         }
     }
     g.finish();
@@ -174,9 +168,7 @@ fn bench_storage(c: &mut Criterion) {
     g.bench_function("btree/probe_5k_rows", |b| {
         b.iter(|| tree.search(&key).unwrap())
     });
-    g.bench_function("heap/full_scan_5k_rows", |b| {
-        b.iter(|| heap.scan().count())
-    });
+    g.bench_function("heap/full_scan_5k_rows", |b| b.iter(|| heap.scan().count()));
     g.finish();
 }
 

@@ -17,9 +17,7 @@
 
 use std::time::{Duration, Instant};
 use wsq_bench::{constant_pool, time_query, Template};
-use wsq_core::{
-    BufferMode, ExecutionMode, PlacementStrategy, QueryOptions, Wsq, WsqConfig,
-};
+use wsq_core::{BufferMode, ExecutionMode, PlacementStrategy, QueryOptions, Wsq, WsqConfig};
 use wsq_pump::PumpConfig;
 use wsq_websim::{CorpusConfig, LatencyModel};
 
@@ -66,7 +64,11 @@ fn main() {
     // ---------------------------------------------------------------
     println!("=== Ablation 1: ReqPump concurrency cap (Template 1, {base_ms}ms latency)");
     println!("{:<16}{:>12}{:>12}", "max_concurrent", "secs", "speedup");
-    let caps: &[usize] = if quick { &[1, 8, 64] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let caps: &[usize] = if quick {
+        &[1, 8, 64]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     let mut sequential = None;
     for &cap in caps {
         let mut wsq = wsq_with(latency(base_ms), cap, true, false);
@@ -77,8 +79,15 @@ fn main() {
 
     // ---------------------------------------------------------------
     println!("\n=== Ablation 2: latency sweep (Template 1, sync vs async)");
-    println!("{:<14}{:>12}{:>12}{:>12}", "latency(ms)", "sync", "async", "speedup");
-    let lats: &[u64] = if quick { &[0, 20] } else { &[0, 5, 10, 20, 40, 80] };
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}",
+        "latency(ms)", "sync", "async", "speedup"
+    );
+    let lats: &[u64] = if quick {
+        &[0, 20]
+    } else {
+        &[0, 5, 10, 20, 40, 80]
+    };
     for &ms in lats {
         let mut wsq = wsq_with(latency(ms), 64, true, false);
         let s = timed(
@@ -149,14 +158,12 @@ fn main() {
     ] {
         let mut wsq = wsq_with(latency(base_ms), 64, coalesce, cache);
         wsq.execute("CREATE TABLE R (N INT)").unwrap();
-        wsq.execute("INSERT INTO R VALUES (1), (2), (3), (4)").unwrap();
+        wsq.execute("INSERT INTO R VALUES (1), (2), (3), (4)")
+            .unwrap();
         let secs = timed(&mut wsq, fig7, QueryOptions::default());
         let stats = wsq.pump().stats();
         let hits: u64 = wsq.cache_stats().values().map(|c| c.hits).sum();
-        println!(
-            "{name:<26}{secs:>10.3}{:>12}{hits:>12}",
-            stats.launched
-        );
+        println!("{name:<26}{secs:>10.3}{:>12}{hits:>12}", stats.launched);
     }
 
     // ---------------------------------------------------------------
@@ -202,9 +209,8 @@ fn main() {
     println!("{:<12}{:>10}{:>10}", "Rank <=", "rows", "secs");
     let ranks: &[u32] = if quick { &[1, 5] } else { &[1, 2, 5, 10, 19] };
     for &k in ranks {
-        let sql = format!(
-            "SELECT Name, URL, Rank FROM Sigs, WebPages WHERE Name = T1 AND Rank <= {k}"
-        );
+        let sql =
+            format!("SELECT Name, URL, Rank FROM Sigs, WebPages WHERE Name = T1 AND Rank <= {k}");
         let mut wsq = wsq_with(latency(base_ms), 64, true, false);
         let t0 = Instant::now();
         let (_, rows) = time_query(&mut wsq, &sql, ExecutionMode::Asynchronous);

@@ -1,0 +1,268 @@
+//! Measure the external-call fast path and emit `BENCH_pump_cache.json`.
+//!
+//! ```sh
+//! cargo run -p wsq-bench --release --bin pump_cache            # full
+//! cargo run -p wsq-bench --release --bin pump_cache -- --quick # smoke
+//! ```
+//!
+//! Compares the sharded single-flight `CachedService` against the
+//! pre-sharding coarse single-mutex baseline under hit-heavy, miss-heavy
+//! and duplicate-miss workloads at 1/4/16/64 threads, verifies the
+//! single-flight invariant (one inner call per distinct in-flight
+//! request), and times pump completion delivery.
+
+use std::sync::Arc;
+use std::time::Duration;
+use wsq_bench::fastpath::{
+    keyed_request, run_cache_workload, warm_hot_keys, CoarseCachedService, SleepService,
+    SpinService, Workload, STORM_KEYS,
+};
+use wsq_common::CallId;
+use wsq_pump::{PumpConfig, ReqPump, SearchService};
+use wsq_websim::CachedService;
+
+struct Measurement {
+    workload: &'static str,
+    threads: usize,
+    implementation: &'static str,
+    median_ms: f64,
+    throughput_mops: f64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Median wall time (ms) over `rounds` runs of a workload.
+fn measure(
+    make_cache: &dyn Fn() -> Arc<dyn SearchService>,
+    workload: Workload,
+    threads: usize,
+    ops: usize,
+    rounds: usize,
+) -> f64 {
+    let cache = make_cache();
+    if workload == Workload::HitHeavy {
+        warm_hot_keys(&*cache);
+    }
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|round| {
+            run_cache_workload(cache.clone(), workload, threads, ops, round).as_secs_f64() * 1e3
+        })
+        .collect();
+    median(&mut samples)
+}
+
+struct SingleFlight {
+    requests: u64,
+    inner_calls: u64,
+    misses: u64,
+    coalesced: u64,
+    coarse_inner_calls: u64,
+    verified: bool,
+}
+
+/// The single-flight acceptance check: many threads storm the same cold
+/// keys against a *blocking* backend (5 ms per call, standing in for a
+/// network round-trip). The sharded cache must send exactly one call per
+/// distinct request to the backend; the coarse baseline is run on the
+/// same storm to count its redundant calls — every thread that misses
+/// while the first caller is still blocked issues its own.
+fn verify_single_flight(threads: usize, ops: usize) -> SingleFlight {
+    let backend = Duration::from_millis(5);
+    let inner = SleepService::new(backend);
+    let cache = CachedService::new(inner.clone());
+    run_cache_workload(cache.clone(), Workload::DuplicateMiss, threads, ops, 0);
+    let stats = cache.stats();
+    let requests = (threads * ops) as u64;
+
+    let coarse_inner = SleepService::new(backend);
+    let coarse = CoarseCachedService::new(coarse_inner.clone());
+    run_cache_workload(coarse, Workload::DuplicateMiss, threads, ops, 0);
+
+    let verified = inner.calls() == STORM_KEYS as u64
+        && stats.misses == inner.calls()
+        && stats.hits + stats.misses == requests;
+    SingleFlight {
+        requests,
+        inner_calls: inner.calls(),
+        misses: stats.misses,
+        coalesced: stats.coalesced,
+        coarse_inner_calls: coarse_inner.calls(),
+        verified,
+    }
+}
+
+/// Time pump register/wait/release churn across threads.
+fn measure_pump_churn(threads: usize, calls: usize, rounds: usize) -> f64 {
+    let pump = ReqPump::new(PumpConfig {
+        max_concurrent: 256,
+        default_per_destination: 256,
+        coalesce: false,
+        ..PumpConfig::default()
+    });
+    pump.register_service("AV", SpinService::new(200));
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let pump = pump.clone();
+                    std::thread::spawn(move || {
+                        for k in 0..calls {
+                            let cid: CallId = pump.register(keyed_request(k)).unwrap();
+                            pump.wait(cid).unwrap();
+                            pump.release(cid);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    median(&mut samples)
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ops, rounds, thread_counts): (usize, usize, &[usize]) = if quick {
+        (500, 3, &[1, 4, 16])
+    } else {
+        (2000, 5, &[1, 4, 16, 64])
+    };
+
+    let sharded: Box<dyn Fn() -> Arc<dyn SearchService>> =
+        Box::new(|| CachedService::new(SpinService::new(2_000)) as Arc<dyn SearchService>);
+    let coarse: Box<dyn Fn() -> Arc<dyn SearchService>> =
+        Box::new(|| CoarseCachedService::new(SpinService::new(2_000)) as Arc<dyn SearchService>);
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for (workload, wname) in Workload::all() {
+        for &threads in thread_counts {
+            for (implementation, make) in [("sharded", &sharded), ("coarse", &coarse)] {
+                eprintln!("... {wname} x{threads} {implementation}");
+                let ms = measure(make.as_ref(), workload, threads, ops, rounds);
+                let mops = (threads * ops) as f64 / (ms / 1e3) / 1e6;
+                measurements.push(Measurement {
+                    workload: wname,
+                    threads,
+                    implementation,
+                    median_ms: ms,
+                    throughput_mops: mops,
+                });
+            }
+        }
+    }
+
+    eprintln!("... single-flight verification");
+    let sf_threads = *thread_counts.last().unwrap();
+    let sf = verify_single_flight(sf_threads, ops.min(64));
+
+    let mut pump_rows: Vec<(usize, f64)> = Vec::new();
+    for &threads in thread_counts {
+        eprintln!("... pump churn x{threads}");
+        pump_rows.push((threads, measure_pump_churn(threads, 32, rounds)));
+    }
+
+    // Render the report.
+    println!(
+        "{:<16}{:>8}{:>10}{:>12}{:>14}",
+        "workload", "threads", "impl", "median ms", "Mops/s"
+    );
+    for m in &measurements {
+        println!(
+            "{:<16}{:>8}{:>10}{:>12.3}{:>14.3}",
+            m.workload, m.threads, m.implementation, m.median_ms, m.throughput_mops
+        );
+    }
+    println!(
+        "\nsingle-flight: {} requests -> {} backend calls sharded vs {} coarse \
+         ({} misses, {} coalesced) verified={}",
+        sf.requests, sf.inner_calls, sf.coarse_inner_calls, sf.misses, sf.coalesced, sf.verified
+    );
+    for (threads, ms) in &pump_rows {
+        println!("pump churn x{threads}: {ms:.3} ms");
+    }
+
+    // Speedups of sharded over coarse per (workload, threads).
+    let speedup = |wname: &str, threads: usize| -> f64 {
+        let find = |imp: &str| {
+            measurements
+                .iter()
+                .find(|m| m.workload == wname && m.threads == threads && m.implementation == imp)
+                .map(|m| m.median_ms)
+                .unwrap_or(f64::NAN)
+        };
+        find("coarse") / find("sharded")
+    };
+
+    // Hand-rolled JSON: the workspace intentionally has no serde.
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"quick\": {quick}, \"ops_per_thread\": {ops}, \
+         \"rounds\": {rounds}, \"cores\": {cores}}},\n"
+    ));
+    out.push_str("  \"cache\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"impl\": \"{}\", \
+             \"median_ms\": {}, \"throughput_mops\": {}}}{}\n",
+            m.workload,
+            m.threads,
+            m.implementation,
+            json_f(m.median_ms),
+            json_f(m.throughput_mops),
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedup_sharded_over_coarse\": {\n");
+    let mut first = true;
+    for (_, wname) in Workload::all() {
+        for &threads in thread_counts {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    \"{wname}_x{threads}\": {}",
+                json_f(speedup(wname, threads))
+            ));
+        }
+    }
+    out.push_str("\n  },\n");
+    out.push_str(&format!(
+        "  \"single_flight\": {{\"threads\": {sf_threads}, \"requests\": {}, \
+         \"distinct_requests\": {STORM_KEYS}, \"sharded_backend_calls\": {}, \
+         \"coarse_backend_calls\": {}, \"misses\": {}, \"coalesced\": {}, \
+         \"verified\": {}}},\n",
+        sf.requests, sf.inner_calls, sf.coarse_inner_calls, sf.misses, sf.coalesced, sf.verified
+    ));
+    out.push_str("  \"pump_churn\": [\n");
+    for (i, (threads, ms)) in pump_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {threads}, \"median_ms\": {}}}{}\n",
+            json_f(*ms),
+            if i + 1 == pump_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pump_cache.json", &out).expect("write BENCH_pump_cache.json");
+    eprintln!("wrote BENCH_pump_cache.json");
+    assert!(sf.verified, "single-flight invariant violated");
+    std::hint::black_box(Duration::ZERO);
+}

@@ -13,9 +13,7 @@
 //! differ from the paper by that factor; the *improvement factors* are the
 //! reproduced quantity.
 
-use wsq_bench::{
-    bench_wsq, paper_table1, render_table1, run_template, BenchScale, Template,
-};
+use wsq_bench::{bench_wsq, paper_table1, render_table1, run_template, BenchScale, Template};
 use wsq_websim::CorpusConfig;
 
 fn main() {

@@ -1,0 +1,212 @@
+//! Shared harness for the external-call fast-path benchmarks: the
+//! single-mutex cache baseline, synthetic services, and multi-threaded
+//! workload drivers used by both the criterion bench (`pump_cache`) and
+//! the JSON-emitting binary of the same name.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use wsq_pump::{RequestKind, SearchRequest, SearchResult, SearchService, ServiceReply};
+
+/// The pre-sharding cache design: one mutex around the whole map and a
+/// second around the counters. Retained verbatim as the baseline the
+/// sharded [`wsq_websim::CachedService`] is measured against.
+pub struct CoarseCachedService {
+    inner: Arc<dyn SearchService>,
+    cache: Mutex<HashMap<SearchRequest, SearchResult>>,
+    stats: Mutex<(u64, u64)>, // (hits, misses)
+}
+
+impl CoarseCachedService {
+    /// Wrap `inner` with the coarse-grained cache.
+    pub fn new(inner: Arc<dyn SearchService>) -> Arc<Self> {
+        Arc::new(CoarseCachedService {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new((0, 0)),
+        })
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        *self.stats.lock()
+    }
+}
+
+impl SearchService for CoarseCachedService {
+    fn execute(&self, req: &SearchRequest) -> ServiceReply {
+        if let Some(result) = self.cache.lock().get(req).cloned() {
+            self.stats.lock().0 += 1;
+            return ServiceReply {
+                result: Ok(result),
+                latency: Duration::ZERO,
+            };
+        }
+        self.stats.lock().1 += 1;
+        let reply = self.inner.execute(req);
+        if let Ok(result) = &reply.result {
+            self.cache.lock().insert(req.clone(), result.clone());
+        }
+        reply
+    }
+}
+
+/// A counting backend whose `execute` burns a small fixed amount of CPU,
+/// standing in for the engine's index probe.
+pub struct SpinService {
+    calls: AtomicU64,
+    spin: u64,
+}
+
+impl SpinService {
+    /// A backend spinning for roughly `spin` iterations per call.
+    pub fn new(spin: u64) -> Arc<Self> {
+        Arc::new(SpinService {
+            calls: AtomicU64::new(0),
+            spin,
+        })
+    }
+
+    /// Number of calls that reached the backend.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl SearchService for SpinService {
+    fn execute(&self, req: &SearchRequest) -> ServiceReply {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut acc = 0u64;
+        for i in 0..self.spin {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        ServiceReply::instant(SearchResult::Count(req.expr.len() as u64))
+    }
+}
+
+/// A counting backend that *blocks* for a fixed duration per call,
+/// modelling a real network round-trip. Under a duplicate-miss storm the
+/// non-single-flight cache issues one redundant blocked call per thread.
+pub struct SleepService {
+    calls: AtomicU64,
+    sleep: Duration,
+}
+
+impl SleepService {
+    /// A backend blocking `sleep` per call.
+    pub fn new(sleep: Duration) -> Arc<Self> {
+        Arc::new(SleepService {
+            calls: AtomicU64::new(0),
+            sleep,
+        })
+    }
+
+    /// Number of calls that reached the backend.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl SearchService for SleepService {
+    fn execute(&self, req: &SearchRequest) -> ServiceReply {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(self.sleep);
+        ServiceReply::instant(SearchResult::Count(req.expr.len() as u64))
+    }
+}
+
+/// Build the request for key `k`.
+pub fn keyed_request(k: usize) -> SearchRequest {
+    SearchRequest {
+        engine: "AV".into(),
+        expr: format!("bench key {k}"),
+        kind: RequestKind::Count,
+    }
+}
+
+/// The contention patterns the fast path is measured under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// A small pre-warmed key set; almost every request is a hit. This is
+    /// the steady state of Example 2's repeated identical searches.
+    HitHeavy,
+    /// Every request is a distinct key: pure insert traffic.
+    MissHeavy,
+    /// All threads storm the *same* cold keys simultaneously: the
+    /// single-flight path. Each distinct key must reach the backend once.
+    DuplicateMiss,
+}
+
+impl Workload {
+    /// All workloads, with their short names.
+    pub fn all() -> [(Workload, &'static str); 3] {
+        [
+            (Workload::HitHeavy, "hit_heavy"),
+            (Workload::MissHeavy, "miss_heavy"),
+            (Workload::DuplicateMiss, "duplicate_miss"),
+        ]
+    }
+}
+
+/// Number of keys in the hit-heavy working set.
+pub const HOT_KEYS: usize = 64;
+
+/// Distinct cold keys in the duplicate-miss storm.
+pub const STORM_KEYS: usize = 8;
+
+/// Warm `cache` so a [`Workload::HitHeavy`] run starts from steady state.
+pub fn warm_hot_keys(cache: &dyn SearchService) {
+    for k in 0..HOT_KEYS {
+        cache.execute(&keyed_request(k));
+    }
+}
+
+/// Run `ops` cache operations per thread across `threads` threads and
+/// return the wall time of the contended section (excludes thread spawn,
+/// via a start barrier). `round` must differ between invocations so
+/// miss-type workloads see cold keys each time.
+pub fn run_cache_workload(
+    cache: Arc<dyn SearchService>,
+    workload: Workload,
+    threads: usize,
+    ops: usize,
+    round: usize,
+) -> Duration {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let cache = cache.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..ops {
+                    let req = match workload {
+                        Workload::HitHeavy => keyed_request((t * 31 + i) % HOT_KEYS),
+                        // Globally unique key per op per round.
+                        Workload::MissHeavy => {
+                            keyed_request(1_000_000 + round * 1_000_000 + t * ops + i)
+                        }
+                        // Same small cold key set for every thread.
+                        Workload::DuplicateMiss => {
+                            keyed_request(500_000_000 + round * 1_000 + i % STORM_KEYS)
+                        }
+                    };
+                    let reply = cache.execute(&req);
+                    assert!(reply.result.is_ok());
+                }
+            })
+        })
+        .collect();
+    // Clock starts before the barrier releases: otherwise the workers
+    // race ahead while this thread is rescheduled and short workloads
+    // appear to take near-zero time.
+    let t0 = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().unwrap();
+    }
+    t0.elapsed()
+}

@@ -2,11 +2,10 @@
 
 use crate::error::{Result, WsqError};
 use crate::value::DataType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single column of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Table alias / relation name qualifying the column, if any.
     /// Scans produce qualified columns; projections may drop the qualifier.
@@ -75,7 +74,7 @@ impl fmt::Display for Column {
 
 /// An ordered list of columns describing tuples produced by an operator or
 /// stored in a table.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     columns: Vec<Column>,
 }
@@ -128,16 +127,13 @@ impl Schema {
                 found = Some(i);
             }
         }
-        found.ok_or_else(|| {
-            WsqError::Plan(format!("unknown column '{}'", refname(qualifier, name)))
-        })
+        found
+            .ok_or_else(|| WsqError::Plan(format!("unknown column '{}'", refname(qualifier, name))))
     }
 
     /// Offset of a column reference, or `None` (no ambiguity check).
     pub fn try_resolve(&self, qualifier: Option<&str>, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.matches(qualifier, name))
+        self.columns.iter().position(|c| c.matches(qualifier, name))
     }
 
     /// Concatenate two schemas (used by joins / cross products).

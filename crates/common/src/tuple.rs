@@ -1,7 +1,6 @@
 //! Tuples: ordered value vectors flowing through the iterator tree.
 
 use crate::value::{CallId, Placeholder, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tuple of runtime values.
@@ -9,7 +8,7 @@ use std::fmt;
 /// Tuples are positional; the corresponding [`crate::Schema`] travels with
 /// the operator, not the tuple, keeping the per-tuple footprint small (a
 /// point the performance guide emphasizes for row-at-a-time engines).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tuple {
     values: Vec<Value>,
 }

@@ -1,7 +1,6 @@
 //! The value model: SQL data types, runtime values, and placeholders.
 
 use crate::error::{Result, WsqError};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -9,7 +8,7 @@ use std::fmt;
 ///
 /// `CallId`s are minted by `ReqPump` (one per *deduplicated* outgoing
 /// request) and embedded into tuples as [`Placeholder`]s by `AEVScan`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CallId(pub u64);
 
 impl fmt::Display for CallId {
@@ -22,7 +21,7 @@ impl fmt::Display for CallId {
 ///
 /// A `WebCount` call produces a single `Count`; a `WebPages` call produces a
 /// `(Url, Rank, Date)` triple per result row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PendingCol {
     /// The `Count` column of `WebCount`.
     Count,
@@ -40,7 +39,7 @@ pub enum PendingCol {
 /// The placeholder plays two roles: it flags the containing tuple as
 /// incomplete, and it identifies the pending `ReqPump` call (and which of
 /// its output columns) that will fill in the true value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Placeholder {
     /// The pending call that will supply the value.
     pub call: CallId,
@@ -55,7 +54,7 @@ impl fmt::Display for Placeholder {
 }
 
 /// SQL data types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -81,7 +80,7 @@ impl fmt::Display for DataType {
 /// [`Value::Pending`] never reaches storage or query results; it exists
 /// only inside asynchronous query plans between an `AEVScan` and the
 /// `ReqSync` that patches it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -257,9 +256,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Pending(a), Value::Pending(b)) => a == b,
             _ => false,
@@ -335,7 +332,10 @@ mod tests {
     #[test]
     fn group_keys_distinguish_types() {
         assert_ne!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
-        assert_eq!(Value::Str("a".into()).group_key(), Value::from("a").group_key());
+        assert_eq!(
+            Value::Str("a".into()).group_key(),
+            Value::from("a").group_key()
+        );
         assert_eq!(Value::Null.group_key(), GroupKey::Null);
     }
 

@@ -90,9 +90,9 @@ impl DsqExplorer {
         for call in calls {
             let result = self.pump.wait(call);
             self.pump.release(call);
-            let count = result?.count().ok_or_else(|| {
-                WsqError::Search("count request returned pages".to_string())
-            })?;
+            let count = result?
+                .count()
+                .ok_or_else(|| WsqError::Search("count request returned pages".to_string()))?;
             counts.push(count);
         }
         Ok(counts)
@@ -144,8 +144,16 @@ impl DsqExplorer {
     ) -> Result<Vec<PairCorrelation>> {
         let singles_a = self.correlate(phrase, vocab_a)?;
         let singles_b = self.correlate(phrase, vocab_b)?;
-        let a: Vec<&str> = singles_a.iter().take(top_k).map(|c| c.term.as_str()).collect();
-        let b: Vec<&str> = singles_b.iter().take(top_k).map(|c| c.term.as_str()).collect();
+        let a: Vec<&str> = singles_a
+            .iter()
+            .take(top_k)
+            .map(|c| c.term.as_str())
+            .collect();
+        let b: Vec<&str> = singles_b
+            .iter()
+            .take(top_k)
+            .map(|c| c.term.as_str())
+            .collect();
 
         let mut pairs = Vec::new();
         let mut exprs = Vec::new();
@@ -192,7 +200,10 @@ mod tests {
         assert!(!corr.is_empty());
         assert_eq!(corr[0].term, "Florida");
         let top: Vec<&str> = corr.iter().take(3).map(|c| c.term.as_str()).collect();
-        assert!(top.contains(&"Hawaii") || top.contains(&"California"), "{top:?}");
+        assert!(
+            top.contains(&"Hawaii") || top.contains(&"California"),
+            "{top:?}"
+        );
         // Landlocked Wyoming should not lead the list.
         assert!(corr.iter().all(|c| c.count > 0));
         assert_eq!(wsq.pump().live_calls(), 0);

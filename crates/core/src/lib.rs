@@ -34,7 +34,7 @@ use wsq_common::{Result, Tuple, Value, WsqError};
 use wsq_engine::db::Database;
 use wsq_engine::engines::EngineRegistry;
 use wsq_pump::{PumpConfig, ReqPump, SearchService};
-use wsq_websim::{CachedService, CorpusConfig, EngineKind, LatencyModel, SimWeb};
+use wsq_websim::{CacheConfig, CachedService, CorpusConfig, EngineKind, LatencyModel, SimWeb};
 
 /// Configuration for a [`Wsq`] instance.
 #[derive(Clone)]
@@ -49,6 +49,9 @@ pub struct WsqConfig {
     pub query: QueryOptions,
     /// Wrap engines in a memoizing result cache (HN96).
     pub cache: bool,
+    /// Tuning for the result cache (shard count, LRU capacity, TTL);
+    /// only consulted when `cache` is set.
+    pub cache_tuning: CacheConfig,
 }
 
 impl Default for WsqConfig {
@@ -59,6 +62,7 @@ impl Default for WsqConfig {
             pump: PumpConfig::default(),
             query: QueryOptions::default(),
             cache: false,
+            cache_tuning: CacheConfig::default(),
         }
     }
 }
@@ -108,10 +112,15 @@ impl Wsq {
             caches: HashMap::new(),
         };
         // The paper's two engines: AltaVista (NEAR) and Google (AND).
-        let av = wsq.web.engine_with_latency(EngineKind::AltaVista, config.latency);
-        let google = wsq.web.engine_with_latency(EngineKind::Google, config.latency);
-        wsq.register_engine_internal("AV", av, true, config.cache);
-        wsq.register_engine_internal("Google", google, false, config.cache);
+        let av = wsq
+            .web
+            .engine_with_latency(EngineKind::AltaVista, config.latency);
+        let google = wsq
+            .web
+            .engine_with_latency(EngineKind::Google, config.latency);
+        let tuning = config.cache.then_some(&config.cache_tuning);
+        wsq.register_engine_internal("AV", av, true, tuning);
+        wsq.register_engine_internal("Google", google, false, tuning);
         Ok(wsq)
     }
 
@@ -130,10 +139,10 @@ impl Wsq {
         name: &str,
         service: Arc<dyn SearchService>,
         supports_near: bool,
-        cache: bool,
+        cache: Option<&CacheConfig>,
     ) {
-        let service: Arc<dyn SearchService> = if cache {
-            let cached = CachedService::new(service);
+        let service: Arc<dyn SearchService> = if let Some(tuning) = cache {
+            let cached = CachedService::with_config(service, tuning.clone());
             self.caches.insert(name.to_string(), cached.clone());
             cached
         } else {
@@ -151,7 +160,7 @@ impl Wsq {
         service: Arc<dyn SearchService>,
         supports_near: bool,
     ) {
-        self.register_engine_internal(name, service, supports_near, false);
+        self.register_engine_internal(name, service, supports_near, None);
     }
 
     /// Execute a `;`-separated SQL script.
@@ -191,7 +200,8 @@ impl Wsq {
     pub fn query_cursor(&mut self, sql: &str) -> Result<wsq_engine::db::Cursor> {
         match wsq_sql::parse_one(sql)? {
             wsq_sql::Statement::Select(sel) => {
-                self.db.open_query(&sel, &self.engines, &self.pump, self.opts)
+                self.db
+                    .open_query(&sel, &self.engines, &self.pump, self.opts)
             }
             _ => Err(WsqError::Plan("cursor requires a SELECT".to_string())),
         }
@@ -202,8 +212,28 @@ impl Wsq {
     pub fn analyze(&mut self, sql: &str) -> Result<(QueryResult, String)> {
         match wsq_sql::parse_one(sql)? {
             wsq_sql::Statement::Select(sel) => {
-                self.db
-                    .analyze_query(&sel, &self.engines, &self.pump, self.opts)
+                let before = self.cache_stats();
+                let (result, mut report) =
+                    self.db
+                        .analyze_query(&sel, &self.engines, &self.pump, self.opts)?;
+                // Append per-engine cache deltas after the pump footer.
+                let mut engines: Vec<&String> = self.caches.keys().collect();
+                engines.sort();
+                for engine in engines {
+                    let now = self.caches[engine].stats();
+                    let b = before.get(engine).copied().unwrap_or_default();
+                    report.push_str(&wsq_engine::exec::instrument::counters_line(
+                        &format!("cache[{engine}]"),
+                        &[
+                            ("hits", now.hits - b.hits),
+                            ("misses", now.misses - b.misses),
+                            ("coalesced", now.coalesced - b.coalesced),
+                            ("evictions", now.evictions - b.evictions),
+                            ("expirations", now.expirations - b.expirations),
+                        ],
+                    ));
+                }
+                Ok((result, report))
             }
             _ => Err(WsqError::Plan("ANALYZE requires a SELECT".to_string())),
         }
@@ -368,19 +398,42 @@ mod tests {
     }
 
     #[test]
+    fn analyze_reports_cache_counters_when_caching() {
+        let config = WsqConfig {
+            cache: true,
+            ..WsqConfig::fast()
+        };
+        let mut wsq = Wsq::open_in_memory(config).unwrap();
+        wsq.load_reference_data().unwrap();
+        let sql = "SELECT Count FROM WebCount WHERE T1 = 'Texas'";
+        wsq.query(sql).unwrap();
+        let (_, report) = wsq.analyze(sql).unwrap();
+        let av_line = report
+            .lines()
+            .find(|l| l.starts_with("-- cache[AV]:"))
+            .unwrap_or_else(|| panic!("no AV cache footer in:\n{report}"));
+        // The first query populated the cache; the analyzed run hit it.
+        assert!(av_line.contains("hits=1"), "{av_line}");
+        assert!(av_line.contains("misses=0"), "{av_line}");
+    }
+
+    #[test]
     fn cache_dedupes_repeated_searches() {
         let mut config = WsqConfig::fast();
         config.cache = true;
         let mut wsq = Wsq::open_in_memory(config).unwrap();
         wsq.load_reference_data().unwrap();
-        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'").unwrap();
-        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'").unwrap();
+        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'")
+            .unwrap();
+        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'")
+            .unwrap();
         let stats = wsq.cache_stats();
         let av = stats.get("AV").unwrap();
         assert_eq!(av.misses, 1);
         assert_eq!(av.hits, 1);
         wsq.clear_caches();
-        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'").unwrap();
+        wsq.query("SELECT Count FROM WebCount WHERE T1 = 'Utah'")
+            .unwrap();
         assert_eq!(wsq.cache_stats().get("AV").unwrap().misses, 2);
     }
 
@@ -416,6 +469,10 @@ mod tests {
         // The AEVScan re-opened once per state.
         let aev_line = report.lines().find(|l| l.contains("AEVScan")).unwrap();
         assert!(aev_line.contains("opens=50"), "{aev_line}");
+        // Pump counters are appended as a footer.
+        let pump_line = report.lines().find(|l| l.starts_with("-- pump:")).unwrap();
+        assert!(pump_line.contains("registered=50"), "{pump_line}");
+        assert!(pump_line.contains("launched=50"), "{pump_line}");
         assert!(wsq.analyze("CREATE TABLE X (a INT)").is_err());
         assert_eq!(wsq.pump().live_calls(), 0);
     }
@@ -423,9 +480,7 @@ mod tests {
     #[test]
     fn reserved_names_cannot_be_created() {
         let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
-        let err = wsq
-            .execute("CREATE TABLE WebCount (x INT)")
-            .unwrap_err();
+        let err = wsq.execute("CREATE TABLE WebCount (x INT)").unwrap_err();
         assert!(err.to_string().contains("reserved"));
     }
 }

@@ -20,7 +20,7 @@
 //! (case 1). Flushing merges every pending `Sync` into a **single**
 //! ReqSync — which is exactly Consolidation.
 
-use crate::plan::{BufferMode, EvSpec, EvBinding, PhysPlan, PlacementStrategy};
+use crate::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy};
 use wsq_sql::ast::{ColumnRef, Expr};
 
 /// Rewrite a synchronous plan into its asynchronous-iteration form.
@@ -247,9 +247,10 @@ impl Ctx {
                 // join can re-bind: flush the left pending set below.
                 let binding_cols = binding_columns(&r);
                 let attrs = pending_attrs(&pl);
-                let l = if binding_cols.iter().any(|c| {
-                    attrs.iter().any(|a| same_ref(c, a))
-                }) {
+                let l = if binding_cols
+                    .iter()
+                    .any(|c| attrs.iter().any(|a| same_ref(c, a)))
+                {
                     let flushed = self.flush(l, std::mem::take(&mut pl));
                     pl = vec![];
                     flushed
@@ -371,9 +372,7 @@ impl Ctx {
                         }
                         items
                             .iter()
-                            .find(|(e, _)| {
-                                matches!(e, Expr::Column(c) if same_ref(c, a))
-                            })
+                            .find(|(e, _)| matches!(e, Expr::Column(c) if same_ref(c, a)))
                             .map(|(_, name)| {
                                 (
                                     a.clone(),
@@ -482,9 +481,7 @@ impl Ctx {
                 let (core, pending) = self.lift(*input);
                 let (absorbed, remaining): (Vec<_>, Vec<_>) =
                     pending.into_iter().partition(|p| match p {
-                        Pending::Sync(a) => a
-                            .iter()
-                            .all(|x| attrs.iter().any(|y| same_ref(x, y))),
+                        Pending::Sync(a) => a.iter().all(|x| attrs.iter().any(|y| same_ref(x, y))),
                         Pending::Carried(_) => false,
                     });
                 drop(absorbed);
@@ -664,13 +661,15 @@ mod tests {
     }
 
     fn count_kind(plan: &PhysPlan, want: &str) -> usize {
-        plan.count_nodes(&|p| match (p, want) {
-            (PhysPlan::ReqSync { .. }, "reqsync") => true,
-            (PhysPlan::AEVScan(_), "aevscan") => true,
-            (PhysPlan::EVScan(_), "evscan") => true,
-            (PhysPlan::CrossProduct { .. }, "cross") => true,
-            (PhysPlan::NestedLoopJoin { .. }, "nlj") => true,
-            _ => false,
+        plan.count_nodes(&|p| {
+            matches!(
+                (p, want),
+                (PhysPlan::ReqSync { .. }, "reqsync")
+                    | (PhysPlan::AEVScan(_), "aevscan")
+                    | (PhysPlan::EVScan(_), "evscan")
+                    | (PhysPlan::CrossProduct { .. }, "cross")
+                    | (PhysPlan::NestedLoopJoin { .. }, "nlj")
+            )
         })
     }
 
@@ -679,7 +678,10 @@ mod tests {
     fn figure3_reqsync_below_sort() {
         let plan = PhysPlan::Sort {
             keys: vec![(Expr::qualified("WebCount", "Count"), true)],
-            input: Box::new(dj(scan("Sigs", &["Name"]), webcount("WebCount", ("Sigs", "Name")))),
+            input: Box::new(dj(
+                scan("Sigs", &["Name"]),
+                webcount("WebCount", ("Sigs", "Name")),
+            )),
         };
         let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
         assert_eq!(count_kind(&out, "aevscan"), 1);
@@ -703,7 +705,10 @@ mod tests {
     #[test]
     fn figure6_consolidation() {
         let plan = dj(
-            dj(scan("Sigs", &["Name"]), webpages("AV", "AV", ("Sigs", "Name"))),
+            dj(
+                scan("Sigs", &["Name"]),
+                webpages("AV", "AV", ("Sigs", "Name")),
+            ),
             webpages("G", "Google", ("Sigs", "Name")),
         );
         let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
@@ -723,7 +728,10 @@ mod tests {
     #[test]
     fn insertion_only_pins_two_reqsyncs() {
         let plan = dj(
-            dj(scan("Sigs", &["Name"]), webpages("AV", "AV", ("Sigs", "Name"))),
+            dj(
+                scan("Sigs", &["Name"]),
+                webpages("AV", "AV", ("Sigs", "Name")),
+            ),
             webpages("G", "Google", ("Sigs", "Name")),
         );
         let out = asyncify(plan, PlacementStrategy::InsertionOnly, BufferMode::Full);
@@ -828,7 +836,10 @@ mod tests {
             supports_near: true,
         });
         let plan = dj(
-            dj(scan("Sigs", &["Name"]), webpages("S", "AV", ("Sigs", "Name"))),
+            dj(
+                scan("Sigs", &["Name"]),
+                webpages("S", "AV", ("Sigs", "Name")),
+            ),
             inner,
         );
         let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
@@ -869,7 +880,10 @@ mod tests {
     /// ReqSync rise above it, with attribute names rewritten.
     #[test]
     fn projection_passthrough_renames_attrs() {
-        let input = dj(scan("Sigs", &["Name"]), webcount("WebCount", ("Sigs", "Name")));
+        let input = dj(
+            scan("Sigs", &["Name"]),
+            webcount("WebCount", ("Sigs", "Name")),
+        );
         let schema = Schema::new(vec![
             Column::new("Name", DataType::Varchar),
             Column::new("Cnt", DataType::Int),
@@ -945,7 +959,10 @@ mod tests {
     fn idempotent() {
         let plan = PhysPlan::Sort {
             keys: vec![(Expr::qualified("WebCount", "Count"), true)],
-            input: Box::new(dj(scan("Sigs", &["Name"]), webcount("WebCount", ("Sigs", "Name")))),
+            input: Box::new(dj(
+                scan("Sigs", &["Name"]),
+                webcount("WebCount", ("Sigs", "Name")),
+            )),
         };
         let once = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
         let twice = asyncify(once.clone(), PlacementStrategy::Full, BufferMode::Full);

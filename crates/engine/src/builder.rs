@@ -13,9 +13,7 @@ use crate::catalog::Catalog;
 use crate::engines::EngineRegistry;
 use crate::plan::{EvBinding, EvSpec, PhysPlan, VTableKind};
 use wsq_common::{Result, Schema, WsqError};
-use wsq_sql::ast::{
-    AggFunc, BinOp, ColumnRef, Expr, Literal, SelectItem, SelectStmt,
-};
+use wsq_sql::ast::{AggFunc, BinOp, ColumnRef, Expr, Literal, SelectItem, SelectStmt};
 
 /// The paper's default guard against runaway `WebPages` scans: `Rank < 20`
 /// means ranks 1..=19.
@@ -349,8 +347,7 @@ fn pick_index_access(
             continue;
         };
         for (col_side, lit_side) in [(lhs, rhs), (rhs, lhs)] {
-            let (Expr::Column(col), Expr::Literal(lit)) =
-                (col_side.as_ref(), lit_side.as_ref())
+            let (Expr::Column(col), Expr::Literal(lit)) = (col_side.as_ref(), lit_side.as_ref())
             else {
                 continue;
             };
@@ -383,11 +380,11 @@ fn attach_filters(
     schema: &Schema,
 ) -> Result<PhysPlan> {
     for c in conjuncts.iter_mut().filter(|c| !c.used) {
-        let all_resolve = c
-            .expr
-            .columns()
-            .iter()
-            .all(|col| schema.try_resolve(col.qualifier.as_deref(), &col.name).is_some());
+        let all_resolve = c.expr.columns().iter().all(|col| {
+            schema
+                .try_resolve(col.qualifier.as_deref(), &col.name)
+                .is_some()
+        });
         if all_resolve && !c.expr.contains_aggregate() {
             c.used = true;
             node = PhysPlan::Filter {
@@ -409,11 +406,11 @@ fn join_with_predicates(
 ) -> Result<PhysPlan> {
     let mut preds = Vec::new();
     for c in conjuncts.iter_mut().filter(|c| !c.used) {
-        let all_resolve = c
-            .expr
-            .columns()
-            .iter()
-            .all(|col| combined.try_resolve(col.qualifier.as_deref(), &col.name).is_some());
+        let all_resolve = c.expr.columns().iter().all(|col| {
+            combined
+                .try_resolve(col.qualifier.as_deref(), &col.name)
+                .is_some()
+        });
         if all_resolve && !c.expr.contains_aggregate() {
             c.used = true;
             preds.push(c.expr.clone());
@@ -507,7 +504,10 @@ fn analyze_virtual(
             continue;
         };
         // Normalize so the virtual column is on the left.
-        let sides = [(lhs.as_ref(), rhs.as_ref(), *op), (rhs.as_ref(), lhs.as_ref(), flip(*op))];
+        let sides = [
+            (lhs.as_ref(), rhs.as_ref(), *op),
+            (rhs.as_ref(), lhs.as_ref(), flip(*op)),
+        ];
         for (vside, other, op) in sides {
             let Expr::Column(vcol) = vside else { continue };
 
@@ -559,8 +559,7 @@ fn analyze_virtual(
                     };
                     if bound >= 0 {
                         let bound = bound as u32;
-                        rank_limit =
-                            Some(rank_limit.map_or(bound, |cur| cur.min(bound)));
+                        rank_limit = Some(rank_limit.map_or(bound, |cur| cur.min(bound)));
                         c.used = true;
                         break;
                     }
@@ -665,8 +664,7 @@ fn project_schema(items: &[(Expr, String)], input: &Schema) -> Schema {
         items
             .iter()
             .map(|(e, name)| {
-                let dt = crate::expr::infer_type(e, input)
-                    .unwrap_or(wsq_common::DataType::Varchar);
+                let dt = crate::expr::infer_type(e, input).unwrap_or(wsq_common::DataType::Varchar);
                 wsq_common::Column::new(name.clone(), dt)
             })
             .collect(),
@@ -821,7 +819,10 @@ fn rewrite_aggs(expr: &Expr, aggs: &mut Vec<(AggFunc, Option<Expr>, String)>) ->
 fn strip_qualifiers_in_group_refs(expr: Expr, group_by: &[ColumnRef]) -> Expr {
     match expr {
         Expr::Column(c) => {
-            if group_by.iter().any(|g| g.name.eq_ignore_ascii_case(&c.name)) {
+            if group_by
+                .iter()
+                .any(|g| g.name.eq_ignore_ascii_case(&c.name))
+            {
                 Expr::Column(ColumnRef {
                     qualifier: None,
                     name: c.name,
@@ -904,11 +905,7 @@ fn dealias_order_key(expr: &Expr, items: &[(Expr, String)]) -> Result<Expr> {
 
 /// Resolve an ORDER BY key against the projected output: ordinals, output
 /// names/aliases, or syntactic equality with a select item.
-fn rewrite_order_key(
-    expr: &Expr,
-    items: &[(Expr, String)],
-    out_schema: &Schema,
-) -> Result<Expr> {
+fn rewrite_order_key(expr: &Expr, items: &[(Expr, String)], out_schema: &Schema) -> Result<Expr> {
     // Ordinal.
     if let Expr::Literal(Literal::Int(k)) = expr {
         if *k >= 1 && (*k as usize) <= out_schema.len() {
@@ -934,9 +931,7 @@ fn rewrite_order_key(
         {
             return Ok(expr.clone());
         }
-        if c.qualifier.is_some()
-            && out_schema.try_resolve(None, &c.name).is_some()
-        {
+        if c.qualifier.is_some() && out_schema.try_resolve(None, &c.name).is_some() {
             return Ok(Expr::Column(ColumnRef {
                 qualifier: None,
                 name: c.name.clone(),
@@ -1000,7 +995,9 @@ mod tests {
             wsq_sql::Statement::Select(s) => s,
             _ => panic!(),
         };
-        plan_select(&stmt, &catalog, &engines).unwrap_err().to_string()
+        plan_select(&stmt, &catalog, &engines)
+            .unwrap_err()
+            .to_string()
     }
 
     fn find_spec(p: &PhysPlan) -> &EvSpec {
@@ -1049,9 +1046,7 @@ mod tests {
         let spec = find_spec(&p);
         assert_eq!(spec.rank_limit, DEFAULT_RANK_LIMIT);
         // An explicit bound replaces it; the tighter bound wins.
-        let p = plan(
-            "SELECT URL FROM States, WebPages WHERE Name = T1 AND Rank <= 7 AND Rank < 5",
-        );
+        let p = plan("SELECT URL FROM States, WebPages WHERE Name = T1 AND Rank <= 7 AND Rank < 5");
         assert_eq!(find_spec(&p).rank_limit, 4);
     }
 
@@ -1091,9 +1086,7 @@ mod tests {
     #[test]
     fn gap_in_t_indexes_is_an_error() {
         // Referencing T3 forces T1..T3 to exist; T2 unbound → error.
-        let err = plan_err(
-            "SELECT Count FROM States, WebCount WHERE Name = T1 AND T3 = 'x'",
-        );
+        let err = plan_err("SELECT Count FROM States, WebCount WHERE Name = T1 AND T3 = 'x'");
         assert!(err.contains("T2"), "{err}");
     }
 

@@ -264,9 +264,7 @@ impl Catalog {
             })
             .unwrap_or(false);
         if !existed {
-            return Err(WsqError::Catalog(format!(
-                "no index on {table}({column})"
-            )));
+            return Err(WsqError::Catalog(format!("no index on {table}({column})")));
         }
         self.delete_indexcat_records(&tkey, Some(&ckey))
     }
@@ -295,9 +293,7 @@ impl Catalog {
     pub fn has_index(&self, table: &str, column: &str) -> bool {
         self.index_cache
             .get(&table.to_ascii_lowercase())
-            .is_some_and(|cols| {
-                cols.iter().any(|c| c.eq_ignore_ascii_case(column))
-            })
+            .is_some_and(|cols| cols.iter().any(|c| c.eq_ignore_ascii_case(column)))
     }
 
     /// Indexed columns of `table` (lowercased).
@@ -336,8 +332,10 @@ impl Catalog {
         }
 
         let rschema = relcat_schema();
-        self.relcat
-            .insert(&codec::encode(&rschema, &Tuple::new(vec![Value::from(name)]))?)?;
+        self.relcat.insert(&codec::encode(
+            &rschema,
+            &Tuple::new(vec![Value::from(name)]),
+        )?)?;
         let aschema = attrcat_schema();
         for (i, c) in schema.iter() {
             let t = Tuple::new(vec![
@@ -479,8 +477,11 @@ mod tests {
         {
             let mut cat = Catalog::create(pool.clone(), f1, f2, f3, f4).unwrap();
             cat.create_table("States", &states_schema()).unwrap();
-            cat.create_table("Sigs", &Schema::new(vec![Column::new("Name", DataType::Varchar)]))
-                .unwrap();
+            cat.create_table(
+                "Sigs",
+                &Schema::new(vec![Column::new("Name", DataType::Varchar)]),
+            )
+            .unwrap();
             cat.create_index("States", "Name").unwrap();
             cat.create_index("States", "Capital").unwrap();
             cat.drop_index("States", "Capital").unwrap();

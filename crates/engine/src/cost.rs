@@ -286,9 +286,9 @@ pub fn estimate(plan: &PhysPlan, tables: &dyn TableSource, params: &CostParams) 
     } else {
         0.0
     };
-    let batches = (per_wave_calls / params.max_concurrent.max(1) as f64).ceil().max(
-        if a.calls > 0.0 { 1.0 } else { 0.0 },
-    );
+    let batches = (per_wave_calls / params.max_concurrent.max(1) as f64)
+        .ceil()
+        .max(if a.calls > 0.0 { 1.0 } else { 0.0 });
     // Overlapped waves plus any blocking (EVScan) calls, which serialize.
     let async_secs =
         waves as f64 * params.latency_secs * batches + a.blocking_calls * params.latency_secs;

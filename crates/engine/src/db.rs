@@ -11,12 +11,12 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use wsq_common::{Column, Result, Schema, Tuple, Value, WsqError};
 use wsq_pump::ReqPump;
+use wsq_sql::ast::{Literal, SelectStmt, Statement};
 use wsq_storage::btree::BTree;
 use wsq_storage::buffer::BufferPool;
 use wsq_storage::codec;
 use wsq_storage::disk::{FileStorage, MemStorage, Storage};
 use wsq_storage::heap::HeapFile;
-use wsq_sql::ast::{Literal, SelectStmt, Statement};
 
 /// Options controlling how SELECTs execute.
 #[derive(Debug, Clone, Copy)]
@@ -191,12 +191,9 @@ impl Database {
         let existing = relcat_path.exists();
         let pool = Arc::new(BufferPool::new(POOL_PAGES));
         let relcat = pool.register_file(Box::new(FileStorage::open(&relcat_path)?));
-        let attrcat =
-            pool.register_file(Box::new(FileStorage::open(dir.join("attrcat.rdb"))?));
-        let indexcat =
-            pool.register_file(Box::new(FileStorage::open(dir.join("indexcat.rdb"))?));
-        let viewcat =
-            pool.register_file(Box::new(FileStorage::open(dir.join("viewcat.rdb"))?));
+        let attrcat = pool.register_file(Box::new(FileStorage::open(dir.join("attrcat.rdb"))?));
+        let indexcat = pool.register_file(Box::new(FileStorage::open(dir.join("indexcat.rdb"))?));
+        let viewcat = pool.register_file(Box::new(FileStorage::open(dir.join("viewcat.rdb"))?));
         let catalog = if existing {
             Catalog::open(pool.clone(), relcat, attrcat, indexcat, viewcat)?
         } else {
@@ -316,10 +313,7 @@ impl Database {
     /// Drop an index.
     pub fn drop_index(&mut self, table: &str, column: &str) -> Result<()> {
         self.catalog.drop_index(table, column)?;
-        self.remove_index_file(
-            &table.to_ascii_lowercase(),
-            &column.to_ascii_lowercase(),
-        )
+        self.remove_index_file(&table.to_ascii_lowercase(), &column.to_ascii_lowercase())
     }
 
     fn remove_index_file(&mut self, tkey: &str, ckey: &str) -> Result<()> {
@@ -356,9 +350,9 @@ impl Database {
         let mut out = Vec::new();
         for col in self.catalog.indexes_on(table) {
             let idx = schema.resolve(None, &col)?;
-            let tree = self
-                .index(table, &col)
-                .ok_or_else(|| WsqError::Catalog(format!("index file for {table}.{col} missing")))?;
+            let tree = self.index(table, &col).ok_or_else(|| {
+                WsqError::Catalog(format!("index file for {table}.{col} missing"))
+            })?;
             out.push((idx, tree));
         }
         Ok(out)
@@ -535,10 +529,12 @@ impl Database {
     ) -> Result<SelectStmt> {
         let mut out = stmt.clone();
         let resolve = |e: &mut wsq_sql::ast::Expr| -> Result<()> {
-            *e = self.fold_subqueries(std::mem::replace(
-                e,
-                wsq_sql::ast::Expr::Literal(Literal::Null),
-            ), engines, pump, opts)?;
+            *e = self.fold_subqueries(
+                std::mem::replace(e, wsq_sql::ast::Expr::Literal(Literal::Null)),
+                engines,
+                pump,
+                opts,
+            )?;
             Ok(())
         };
         if let Some(w) = &mut out.where_clause {
@@ -710,7 +706,20 @@ impl Database {
         };
         let instr = exec::Instrumentation::new();
         let mut executor = exec::build_instrumented(&plan, &ctx, &instr)?;
+        let before = pump.stats();
         let rows = exec::collect(executor.as_mut())?;
+        let after = pump.stats();
+        instr.note_counters(
+            "pump",
+            &[
+                ("registered", after.registered - before.registered),
+                ("launched", after.launched - before.launched),
+                ("completed", after.completed - before.completed),
+                ("coalesced", after.coalesced - before.coalesced),
+                ("peak_in_flight", after.peak_in_flight),
+                ("peak_queued", after.peak_queued),
+            ],
+        );
         Ok((
             QueryResult {
                 schema: plan.schema(),
@@ -880,10 +889,7 @@ impl Database {
                 Ok(StatementResult::Affected(0))
             }
             Statement::ShowTables => {
-                let schema = Schema::new(vec![Column::new(
-                    "Table",
-                    wsq_common::DataType::Varchar,
-                )]);
+                let schema = Schema::new(vec![Column::new("Table", wsq_common::DataType::Varchar)]);
                 let rows = self
                     .catalog
                     .table_names()
@@ -947,7 +953,9 @@ impl Database {
                 let plan = self.plan_query(&sel, engines, opts)?;
                 Ok(crate::cost::estimate(&plan, self, params))
             }
-            _ => Err(WsqError::Plan("cost estimation requires a SELECT".to_string())),
+            _ => Err(WsqError::Plan(
+                "cost estimation requires a SELECT".to_string(),
+            )),
         }
     }
 

@@ -34,12 +34,7 @@ impl EngineRegistry {
 
     /// Register engine `name`. The first registered engine becomes the
     /// default for unsuffixed `WebCount`/`WebPages` references.
-    pub fn register(
-        &mut self,
-        name: &str,
-        service: Arc<dyn SearchService>,
-        supports_near: bool,
-    ) {
+    pub fn register(&mut self, name: &str, service: Arc<dyn SearchService>, supports_near: bool) {
         if self.default.is_none() {
             self.default = Some(name.to_string());
         }

@@ -196,11 +196,7 @@ pub struct ProjectExec {
 
 impl ProjectExec {
     /// Project `items` out of `child`.
-    pub fn new(
-        child: Box<dyn Executor>,
-        items: &[(Expr, String)],
-        schema: Schema,
-    ) -> Result<Self> {
+    pub fn new(child: Box<dyn Executor>, items: &[(Expr, String)], schema: Schema) -> Result<Self> {
         let in_schema = child.schema();
         let exprs = items
             .iter()
@@ -469,9 +465,7 @@ impl Acc {
                             other => Value::Float(a as f64 + other.as_float()?),
                         },
                         Some(Value::Float(a)) => Value::Float(a + val.as_float()?),
-                        Some(other) => {
-                            return Err(WsqError::Type(format!("cannot SUM {other}")))
-                        }
+                        Some(other) => return Err(WsqError::Type(format!("cannot SUM {other}"))),
                     });
                 }
             }
@@ -576,8 +570,7 @@ impl Executor for AggregateExec {
         while let Some(t) = self.child.next()? {
             if t.is_incomplete() {
                 return Err(WsqError::Exec(
-                    "aggregation over unresolved placeholders (clash-rule violation)"
-                        .to_string(),
+                    "aggregation over unresolved placeholders (clash-rule violation)".to_string(),
                 ));
             }
             let key: Vec<GroupKey> = self
@@ -590,8 +583,7 @@ impl Executor for AggregateExec {
                 None => {
                     let vals: Vec<Value> =
                         self.group_idx.iter().map(|&i| t.get(i).clone()).collect();
-                    let accs: Vec<Acc> =
-                        self.aggs.iter().map(|(f, _)| Acc::new(*f)).collect();
+                    let accs: Vec<Acc> = self.aggs.iter().map(|(f, _)| Acc::new(*f)).collect();
                     states.push((vals, accs));
                     groups.insert(key, states.len() - 1);
                     states.len() - 1

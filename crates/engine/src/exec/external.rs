@@ -4,9 +4,7 @@
 use super::Executor;
 use crate::plan::{EvSpec, VTableKind};
 use std::sync::Arc;
-use wsq_common::{
-    CallId, PendingCol, Placeholder, Result, Schema, Tuple, Value, WsqError,
-};
+use wsq_common::{CallId, PendingCol, Placeholder, Result, Schema, Tuple, Value, WsqError};
 use wsq_pump::{
     blocking_execute, ReqPump, RequestKind, SearchRequest, SearchResult, SearchService,
 };

@@ -38,10 +38,20 @@ pub struct OpStats {
     pub counters: Arc<OpCounters>,
 }
 
+/// Render one named counter group as a report footer line, e.g.
+/// `-- pump: registered=12 launched=10 coalesced=2`.
+pub fn counters_line(section: &str, counters: &[(&str, u64)]) -> String {
+    let body: Vec<String> = counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("-- {section}: {}\n", body.join(" "))
+}
+
 /// Pre-order collection of instrumented operators for one query.
 #[derive(Debug, Default, Clone)]
 pub struct Instrumentation {
     ops: Arc<parking_lot::Mutex<Vec<OpStats>>>,
+    /// Counter groups from non-operator subsystems (pump, caches),
+    /// rendered after the operator tree.
+    notes: Arc<parking_lot::Mutex<Vec<String>>>,
 }
 
 impl Instrumentation {
@@ -61,6 +71,12 @@ impl Instrumentation {
         counters
     }
 
+    /// Attach a named counter group (e.g. the pump's per-query deltas) to
+    /// the report footer.
+    pub fn note_counters(&self, section: &str, counters: &[(&str, u64)]) {
+        self.notes.lock().push(counters_line(section, counters));
+    }
+
     /// Render the ANALYZE report.
     pub fn report(&self) -> String {
         let ops = self.ops.lock();
@@ -75,6 +91,9 @@ impl Instrumentation {
                 "{pad}{}  [rows={rows} nexts={nexts} opens={opens} time={ms:.3}ms]\n",
                 op.label
             ));
+        }
+        for note in self.notes.lock().iter() {
+            out.push_str(note);
         }
         out
     }

@@ -112,11 +112,7 @@ enum BindingSlot {
 impl DependentJoinExec {
     /// Build from the inner scan's [`EvSpec`]; column bindings are
     /// resolved against the outer schema here, once.
-    pub fn new(
-        left: Box<dyn Executor>,
-        right: Box<dyn Executor>,
-        spec: &EvSpec,
-    ) -> Result<Self> {
+    pub fn new(left: Box<dyn Executor>, right: Box<dyn Executor>, spec: &EvSpec) -> Result<Self> {
         let left_schema = left.schema().clone();
         let slots = spec
             .bindings

@@ -15,8 +15,8 @@ pub use basic::{
     SortExec, ValuesExec,
 };
 pub use external::{AEVScanExec, EVScanExec};
-pub use join::{DependentJoinExec, NestedLoopJoinExec};
 pub use instrument::{Instrumentation, Instrumented, OpCounters, OpStats};
+pub use join::{DependentJoinExec, NestedLoopJoinExec};
 pub use parallel::ParallelDependentJoinExec;
 pub use reqsync::ReqSyncExec;
 
@@ -120,7 +120,10 @@ fn build_node(
     match plan {
         PhysPlan::SeqScan { table, alias, .. } => {
             let (heap, schema) = ctx.tables.table(table)?;
-            Ok(Box::new(SeqScanExec::new(heap, schema.with_qualifier(alias))))
+            Ok(Box::new(SeqScanExec::new(
+                heap,
+                schema.with_qualifier(alias),
+            )))
         }
         PhysPlan::IndexScan {
             table,
@@ -130,9 +133,10 @@ fn build_node(
             ..
         } => {
             let (heap, schema) = ctx.tables.table(table)?;
-            let tree = ctx.tables.table_index(table, column).ok_or_else(|| {
-                WsqError::Plan(format!("no index on {table}({column})"))
-            })?;
+            let tree = ctx
+                .tables
+                .table_index(table, column)
+                .ok_or_else(|| WsqError::Plan(format!("no index on {table}({column})")))?;
             Ok(Box::new(basic::IndexScanExec::new(
                 heap,
                 tree,
@@ -146,12 +150,12 @@ fn build_node(
         ))),
         PhysPlan::EVScan(spec) => {
             let (_, entry) = ctx.engines.get(&spec.engine)?;
-            Ok(Box::new(EVScanExec::new(spec.clone(), entry.service.clone())))
+            Ok(Box::new(EVScanExec::new(
+                spec.clone(),
+                entry.service.clone(),
+            )))
         }
-        PhysPlan::AEVScan(spec) => Ok(Box::new(AEVScanExec::new(
-            spec.clone(),
-            ctx.pump.clone(),
-        ))),
+        PhysPlan::AEVScan(spec) => Ok(Box::new(AEVScanExec::new(spec.clone(), ctx.pump.clone()))),
         PhysPlan::Filter { input, predicate } => {
             let child = build(input)?;
             Ok(Box::new(FilterExec::new(child, predicate)?))

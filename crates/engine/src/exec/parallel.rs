@@ -107,8 +107,9 @@ impl Executor for ParallelDependentJoinExec {
         let spec = &self.spec;
         let service = &self.service;
         let cursor = AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<Result<Vec<Tuple>>>>> =
-            (0..outer.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let results: Vec<parking_lot::Mutex<Option<Result<Vec<Tuple>>>>> = (0..outer.len())
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(outer.len().max(1)) {
@@ -216,8 +217,7 @@ mod tests {
 
     #[test]
     fn thread_cap_serializes() {
-        let mut join =
-            ParallelDependentJoinExec::new(terms(8), spec(), Arc::new(Slow), 2).unwrap();
+        let mut join = ParallelDependentJoinExec::new(terms(8), spec(), Arc::new(Slow), 2).unwrap();
         let t0 = Instant::now();
         collect(&mut join).unwrap();
         // 8 calls / 2 threads → ≥ 4 sequential rounds of 25 ms.
@@ -226,8 +226,7 @@ mod tests {
 
     #[test]
     fn empty_outer_is_fine() {
-        let mut join =
-            ParallelDependentJoinExec::new(terms(0), spec(), Arc::new(Slow), 4).unwrap();
+        let mut join = ParallelDependentJoinExec::new(terms(0), spec(), Arc::new(Slow), 4).unwrap();
         assert!(collect(&mut join).unwrap().is_empty());
     }
 }

@@ -17,7 +17,7 @@ use super::Executor;
 use crate::plan::BufferMode;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use wsq_common::{CallId, PendingCol, Result, Schema, Tuple, Value, WsqError};
+use wsq_common::{CallId, PendingCol, Result, Schema, Tuple, Value};
 use wsq_pump::{ReqPump, SearchResult};
 
 struct BufTuple {
@@ -73,13 +73,7 @@ impl ReqSyncExec {
         for &c in &calls {
             self.index.entry(c).or_default().push(id);
         }
-        self.buffered.insert(
-            id,
-            BufTuple {
-                tuple,
-                owns: calls,
-            },
-        );
+        self.buffered.insert(id, BufTuple { tuple, owns: calls });
     }
 
     /// Remove a tuple id from the index lists of `calls`, dropping lists
@@ -96,15 +90,12 @@ impl ReqSyncExec {
         }
     }
 
-    /// Apply a completed call's result to every tuple waiting on it.
-    fn patch(&mut self, call: CallId) -> Result<()> {
+    /// Apply a completed call's `outcome` to every tuple waiting on it.
+    /// Stale calls (no tuple waits on them any more) are a no-op.
+    fn patch_with(&mut self, call: CallId, outcome: &Result<SearchResult>) -> Result<()> {
         let Some(ids) = self.index.remove(&call) else {
             return Ok(());
         };
-        let outcome = self
-            .pump
-            .peek(call)
-            .ok_or_else(|| WsqError::Exec(format!("call {call} vanished from ReqPumpHash")))?;
         for id in ids {
             // Stale ids (tuple already cancelled/rewritten) are skipped.
             let Some(entry) = self.buffered.remove(&id) else {
@@ -123,7 +114,7 @@ impl ReqSyncExec {
             let owned_here = owns.iter().position(|c| *c == call).map(|i| {
                 owns.remove(i);
             });
-            match &outcome {
+            match outcome {
                 Err(e) => {
                     // A failed external call fails the query. Release what
                     // we own first so the pump does not leak.
@@ -165,8 +156,7 @@ impl ReqSyncExec {
                                 PendingCol::Date => Some(Value::Str(hit.date.clone())),
                                 PendingCol::Count => None,
                             });
-                            let owns_for_copy =
-                                if i == 0 { owns.clone() } else { Vec::new() };
+                            let owns_for_copy = if i == 0 { owns.clone() } else { Vec::new() };
                             self.readmit(t, owns_for_copy);
                         }
                     }
@@ -195,19 +185,24 @@ impl ReqSyncExec {
     }
 
     /// Opportunistically patch any already-completed pending calls.
+    ///
+    /// One [`ReqPump::take_completed`] round gathers every finished call
+    /// in a single pump-lock acquisition (the old shape peeked — and
+    /// locked — once per pending call per round). The loop re-runs
+    /// because patching can readmit tuples that wait on other calls
+    /// which finished in the meantime.
     fn drain_completions(&mut self) -> Result<()> {
         loop {
-            let done: Vec<CallId> = self
-                .index
-                .keys()
-                .filter(|c| self.pump.peek(**c).is_some())
-                .copied()
-                .collect();
+            let pending = self.pending_calls();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let done = self.pump.take_completed(&pending);
             if done.is_empty() {
                 return Ok(());
             }
-            for c in done {
-                self.patch(c)?;
+            for (cid, outcome) in done {
+                self.patch_with(cid, &outcome)?;
             }
         }
     }
@@ -284,9 +279,14 @@ impl Executor for ReqSyncExec {
             if self.index.is_empty() {
                 return Ok(None);
             }
+            // Block until something finishes, then absorb the whole burst
+            // of completions — not just the one call wait_any reported —
+            // in a single batched drain.
             let pending = self.pending_calls();
-            let done = self.pump.wait_any(&pending)?;
-            self.patch(done)?;
+            self.pump.wait_any(&pending)?;
+            for (cid, outcome) in self.pump.take_completed(&pending) {
+                self.patch_with(cid, &outcome)?;
+            }
         }
     }
 

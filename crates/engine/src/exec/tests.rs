@@ -21,7 +21,12 @@ fn rows(schema: Schema, tuples: Vec<Vec<Value>>) -> Box<dyn Executor> {
 }
 
 fn int_schema(names: &[&str]) -> Schema {
-    Schema::new(names.iter().map(|n| Column::new(*n, DataType::Int)).collect())
+    Schema::new(
+        names
+            .iter()
+            .map(|n| Column::new(*n, DataType::Int))
+            .collect(),
+    )
 }
 
 fn drain(mut e: Box<dyn Executor>) -> Vec<Tuple> {
@@ -89,11 +94,13 @@ fn sort_orders_and_is_stable() {
 fn sort_by_ordinal_descending() {
     let child = rows(
         int_schema(&["x"]),
-        vec![vec![Value::Int(1)], vec![Value::Int(3)], vec![Value::Int(2)]],
+        vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(3)],
+            vec![Value::Int(2)],
+        ],
     );
-    let sorted = Box::new(
-        SortExec::new(child, &[(Expr::Literal(Literal::Int(1)), true)]).unwrap(),
-    );
+    let sorted = Box::new(SortExec::new(child, &[(Expr::Literal(Literal::Int(1)), true)]).unwrap());
     let out: Vec<i64> = drain(sorted)
         .iter()
         .map(|t| t.get(0).as_int().unwrap())
@@ -208,7 +215,11 @@ fn nested_loop_join_and_reopen() {
     let mut join = NestedLoopJoinExec::new(
         left,
         right,
-        Some(&Expr::binary(BinOp::Eq, Expr::column("a"), Expr::column("b"))),
+        Some(&Expr::binary(
+            BinOp::Eq,
+            Expr::column("a"),
+            Expr::column("b"),
+        )),
     )
     .unwrap();
     let out = collect(&mut join).unwrap();
@@ -219,7 +230,10 @@ fn nested_loop_join_and_reopen() {
     assert_eq!(out2.len(), 1);
 
     // Cross product (no predicate).
-    let left = rows(int_schema(&["a"]), vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    let left = rows(
+        int_schema(&["a"]),
+        vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+    );
     let right = rows(int_schema(&["b"]), vec![vec![Value::Int(7)]]);
     let mut cp = NestedLoopJoinExec::new(left, right, None).unwrap();
     assert_eq!(collect(&mut cp).unwrap().len(), 2);
@@ -241,7 +255,7 @@ impl SearchService for Scripted {
                 } else {
                     *max_rank
                 };
-                SearchResult::Pages(
+                SearchResult::pages_from(
                     (1..=n)
                         .map(|rank| PageHit {
                             url: format!("www.{}/{rank}", req.expr.replace(' ', "-")),
@@ -278,11 +292,7 @@ fn pages_spec(alias: &str) -> EvSpec {
 }
 
 /// Dependent join of terms against an async WebPages scan, synchronized.
-fn async_pages_pipeline(
-    terms: &[&str],
-    pump: &Arc<ReqPump>,
-    mode: BufferMode,
-) -> Vec<Tuple> {
+fn async_pages_pipeline(terms: &[&str], pump: &Arc<ReqPump>, mode: BufferMode) -> Vec<Tuple> {
     let schema = Schema::new(vec![Column::new("term", DataType::Varchar)]);
     let left = rows(
         schema,

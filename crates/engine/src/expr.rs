@@ -344,16 +344,17 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Option<DataType> {
         Expr::Literal(Literal::Float(_)) => Some(DataType::Float),
         Expr::Literal(Literal::Str(_)) => Some(DataType::Varchar),
         Expr::Literal(Literal::Null) => None,
-        Expr::Unary { op: UnOp::Neg, expr } => infer_type(expr, schema),
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => infer_type(expr, schema),
         Expr::Unary { op: UnOp::Not, .. } => Some(DataType::Int),
         Expr::Binary { op, lhs, rhs } => {
             if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
                 return Some(DataType::Int);
             }
             match (infer_type(lhs, schema), infer_type(rhs, schema)) {
-                (Some(DataType::Float), _) | (_, Some(DataType::Float)) => {
-                    Some(DataType::Float)
-                }
+                (Some(DataType::Float), _) | (_, Some(DataType::Float)) => Some(DataType::Float),
                 (Some(DataType::Varchar), _) | (_, Some(DataType::Varchar)) => {
                     Some(DataType::Varchar)
                 }
@@ -403,7 +404,10 @@ mod tests {
     }
 
     fn eval(text: &str) -> Value {
-        compile(&expr(text), &schema()).unwrap().eval(&tuple()).unwrap()
+        compile(&expr(text), &schema())
+            .unwrap()
+            .eval(&tuple())
+            .unwrap()
     }
 
     #[test]

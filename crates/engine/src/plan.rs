@@ -100,7 +100,11 @@ impl EvSpec {
             DataType::Varchar,
         )];
         for i in 1..=self.bindings.len() {
-            cols.push(Column::qualified(&self.alias, format!("T{i}"), DataType::Varchar));
+            cols.push(Column::qualified(
+                &self.alias,
+                format!("T{i}"),
+                DataType::Varchar,
+            ));
         }
         match self.kind {
             VTableKind::WebCount => {
@@ -363,9 +367,7 @@ impl PhysPlan {
             PhysPlan::ParallelDependentJoin { left, .. } => left.node_count(),
             PhysPlan::DependentJoin { left, right }
             | PhysPlan::NestedLoopJoin { left, right, .. }
-            | PhysPlan::CrossProduct { left, right } => {
-                left.node_count() + right.node_count()
-            }
+            | PhysPlan::CrossProduct { left, right } => left.node_count() + right.node_count(),
         }
     }
 
@@ -462,7 +464,11 @@ impl PhysPlan {
                 left.fmt_tree(out, depth + 1);
                 right.fmt_tree(out, depth + 1);
             }
-            PhysPlan::ParallelDependentJoin { left, spec, threads } => {
+            PhysPlan::ParallelDependentJoin {
+                left,
+                spec,
+                threads,
+            } => {
                 out.push_str(&format!(
                     "{pad}Parallel Dependent Join (threads={threads}): {}\n",
                     spec_text(spec)
@@ -486,9 +492,7 @@ impl PhysPlan {
             PhysPlan::Sort { input, keys } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|(e, desc)| {
-                        format!("{e}{}", if *desc { " DESC" } else { "" })
-                    })
+                    .map(|(e, desc)| format!("{e}{}", if *desc { " DESC" } else { "" }))
                     .collect();
                 out.push_str(&format!("{pad}Sort: {}\n", ks.join(", ")));
                 input.fmt_tree(out, depth + 1);
@@ -549,7 +553,12 @@ fn spec_text(spec: &EvSpec) -> String {
     if spec.kind == VTableKind::WebPages {
         conds.push(format!("Rank <= {}", spec.rank_limit));
     }
-    format!("{kind}@{} AS {} ({})", spec.engine, spec.alias, conds.join(", "))
+    format!(
+        "{kind}@{} AS {} ({})",
+        spec.engine,
+        spec.alias,
+        conds.join(", ")
+    )
 }
 
 fn dependent_join_label(right: &PhysPlan) -> String {
@@ -569,9 +578,7 @@ fn dependent_join_label(right: &PhysPlan) -> String {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, b)| match b {
-                    EvBinding::Column(c) => {
-                        Some(format!("{c} -> {}.T{}", spec.alias, i + 1))
-                    }
+                    EvBinding::Column(c) => Some(format!("{c} -> {}.T{}", spec.alias, i + 1)),
                     EvBinding::Const(_) => None,
                 })
                 .collect();
@@ -615,8 +622,14 @@ mod tests {
 
     #[test]
     fn default_template_depends_on_near_support() {
-        assert_eq!(spec(VTableKind::WebCount, true).effective_template(), "%1 near %2");
-        assert_eq!(spec(VTableKind::WebCount, false).effective_template(), "%1 %2");
+        assert_eq!(
+            spec(VTableKind::WebCount, true).effective_template(),
+            "%1 near %2"
+        );
+        assert_eq!(
+            spec(VTableKind::WebCount, false).effective_template(),
+            "%1 %2"
+        );
     }
 
     #[test]
@@ -632,9 +645,7 @@ mod tests {
     fn instantiation_handles_ten_plus_params() {
         let mut s = spec(VTableKind::WebCount, false);
         s.template = Some("%10 %1".to_string());
-        s.bindings = (0..10)
-            .map(|i| EvBinding::Const(Value::Int(i)))
-            .collect();
+        s.bindings = (0..10).map(|i| EvBinding::Const(Value::Int(i))).collect();
         let vals: Vec<Value> = (0..10).map(Value::Int).collect();
         assert_eq!(s.instantiate(&vals), "9 0");
     }
@@ -650,12 +661,18 @@ mod tests {
     fn schemas_by_kind() {
         let s = spec(VTableKind::WebCount, true).schema();
         assert_eq!(
-            s.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            s.columns()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["SearchExp", "T1", "T2", "Count"]
         );
         let s = spec(VTableKind::WebPages, true).schema();
         assert_eq!(
-            s.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>(),
+            s.columns()
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["SearchExp", "T1", "T2", "URL", "Rank", "Date"]
         );
     }

@@ -208,9 +208,7 @@ fn check_safety(plan: &PhysPlan) -> Result<(), String> {
         }
         PhysPlan::Filter { input, predicate } => {
             if refs_any(predicate, &uncovered_attrs(input)) {
-                return Err(format!(
-                    "filter reads uncovered placeholder attrs:\n{plan}"
-                ));
+                return Err(format!("filter reads uncovered placeholder attrs:\n{plan}"));
             }
             check_safety(input)
         }

@@ -61,13 +61,23 @@ fn call_counts_match_the_workload() {
     let (db, engines, _pump) = setup();
     let p = CostParams::default();
     let e1 = db
-        .estimate_query(Q1, &engines, opts(ExecutionMode::Asynchronous, PlacementStrategy::Full), &p)
+        .estimate_query(
+            Q1,
+            &engines,
+            opts(ExecutionMode::Asynchronous, PlacementStrategy::Full),
+            &p,
+        )
         .unwrap();
     assert_eq!(e1.external_calls, 50.0, "one WebCount call per state");
     assert_eq!(e1.waves, 1, "all calls in one concurrent wave");
 
     let e2 = db
-        .estimate_query(Q2, &engines, opts(ExecutionMode::Asynchronous, PlacementStrategy::Full), &p)
+        .estimate_query(
+            Q2,
+            &engines,
+            opts(ExecutionMode::Asynchronous, PlacementStrategy::Full),
+            &p,
+        )
         .unwrap();
     assert_eq!(e2.external_calls, 100.0, "two calls per state");
     assert_eq!(e2.waves, 1, "independent bindings consolidate to one wave");
@@ -95,7 +105,12 @@ fn synchronous_plan_costs_have_no_overlap() {
     let (db, engines, _pump) = setup();
     let p = CostParams::default();
     let e = db
-        .estimate_query(Q1, &engines, opts(ExecutionMode::Synchronous, PlacementStrategy::Full), &p)
+        .estimate_query(
+            Q1,
+            &engines,
+            opts(ExecutionMode::Synchronous, PlacementStrategy::Full),
+            &p,
+        )
         .unwrap();
     // A synchronous plan's calls never meet a ReqSync: the model treats
     // them as one blocking "wave" per call stream — sync == async estimate.
@@ -120,7 +135,12 @@ fn chained_bindings_cost_an_extra_wave() {
         "URL→T1 dependency forces two sequential latency waves"
     );
     let q1 = db
-        .estimate_query(Q1, &engines, opts(ExecutionMode::Asynchronous, PlacementStrategy::Full), &p)
+        .estimate_query(
+            Q1,
+            &engines,
+            opts(ExecutionMode::Asynchronous, PlacementStrategy::Full),
+            &p,
+        )
         .unwrap();
     assert!(full.async_secs > q1.async_secs);
 }
@@ -131,13 +151,21 @@ fn insertion_only_never_beats_full_percolation() {
     let p = CostParams::default();
     for q in [Q1, Q2, CHAINED] {
         let full = db
-            .estimate_query(q, &engines, opts(ExecutionMode::Asynchronous, PlacementStrategy::Full), &p)
+            .estimate_query(
+                q,
+                &engines,
+                opts(ExecutionMode::Asynchronous, PlacementStrategy::Full),
+                &p,
+            )
             .unwrap();
         let pinned = db
             .estimate_query(
                 q,
                 &engines,
-                opts(ExecutionMode::Asynchronous, PlacementStrategy::InsertionOnly),
+                opts(
+                    ExecutionMode::Asynchronous,
+                    PlacementStrategy::InsertionOnly,
+                ),
                 &p,
             )
             .unwrap();
@@ -178,7 +206,11 @@ fn model_ranking_matches_measured_ranking() {
     let web = SimWeb::build(CorpusConfig::small());
     let mut lat_engines = EngineRegistry::new();
     let lat = wsq_websim::LatencyModel::Fixed(std::time::Duration::from_millis(10));
-    lat_engines.register("AV", web.engine_with_latency(EngineKind::AltaVista, lat), true);
+    lat_engines.register(
+        "AV",
+        web.engine_with_latency(EngineKind::AltaVista, lat),
+        true,
+    );
     pump.register_service("AV", web.engine_with_latency(EngineKind::AltaVista, lat));
 
     let p = CostParams {
@@ -186,7 +218,12 @@ fn model_ranking_matches_measured_ranking() {
         ..CostParams::default()
     };
     let est = db
-        .estimate_query(Q1, &lat_engines, opts(ExecutionMode::Asynchronous, PlacementStrategy::Full), &p)
+        .estimate_query(
+            Q1,
+            &lat_engines,
+            opts(ExecutionMode::Asynchronous, PlacementStrategy::Full),
+            &p,
+        )
         .unwrap();
 
     let stmt = match wsq_sql::parse_one(Q1).unwrap() {
@@ -194,12 +231,22 @@ fn model_ranking_matches_measured_ranking() {
         _ => unreachable!(),
     };
     let t0 = std::time::Instant::now();
-    db.run_query(&stmt, &lat_engines, &pump, opts(ExecutionMode::Synchronous, PlacementStrategy::Full))
-        .unwrap();
+    db.run_query(
+        &stmt,
+        &lat_engines,
+        &pump,
+        opts(ExecutionMode::Synchronous, PlacementStrategy::Full),
+    )
+    .unwrap();
     let sync_measured = t0.elapsed().as_secs_f64();
     let t0 = std::time::Instant::now();
-    db.run_query(&stmt, &lat_engines, &pump, opts(ExecutionMode::Asynchronous, PlacementStrategy::Full))
-        .unwrap();
+    db.run_query(
+        &stmt,
+        &lat_engines,
+        &pump,
+        opts(ExecutionMode::Asynchronous, PlacementStrategy::Full),
+    )
+    .unwrap();
     let async_measured = t0.elapsed().as_secs_f64();
 
     // Directional agreement.

@@ -90,9 +90,8 @@ fn update_values_and_expressions() {
 fn update_type_errors_are_rejected() {
     let mut t = h();
     t.setup_people();
-    let err = t
-        .db
-        .run_sql(
+    let err =
+        t.db.run_sql(
             "UPDATE People SET Age = 'old'",
             &t.engines,
             &t.pump,
@@ -119,21 +118,26 @@ fn index_scan_is_chosen_and_correct() {
     t.run("CREATE INDEX ON People (City)");
 
     let opts = QueryOptions::default();
-    let plan = t
-        .db
-        .explain("SELECT Name FROM People WHERE City = 'Denver'", &t.engines, opts)
+    let plan =
+        t.db.explain(
+            "SELECT Name FROM People WHERE City = 'Denver'",
+            &t.engines,
+            opts,
+        )
         .unwrap();
-    assert!(plan.contains("IndexScan: People (City = 'Denver')"), "{plan}");
+    assert!(
+        plan.contains("IndexScan: People (City = 'Denver')"),
+        "{plan}"
+    );
 
     let mut names = t.rows("SELECT Name FROM People WHERE City = 'Denver'");
     names.sort();
     assert_eq!(names, vec!["<Ann>", "<Cy>", "<Eli>"]);
 
     // Non-indexed predicates still use a sequential scan.
-    let plan = t
-        .db
-        .explain("SELECT Name FROM People WHERE Age = 30", &t.engines, opts)
-        .unwrap();
+    let plan =
+        t.db.explain("SELECT Name FROM People WHERE Age = 30", &t.engines, opts)
+            .unwrap();
     assert!(plan.contains("Scan: People"), "{plan}");
     assert!(!plan.contains("IndexScan"));
 }
@@ -171,9 +175,12 @@ fn index_agrees_with_seq_scan_on_int_keys() {
         r
     };
     t.run("CREATE INDEX ON Nums (K)");
-    let plan = t
-        .db
-        .explain("SELECT V FROM Nums WHERE K = 17", &t.engines, QueryOptions::default())
+    let plan =
+        t.db.explain(
+            "SELECT V FROM Nums WHERE K = 17",
+            &t.engines,
+            QueryOptions::default(),
+        )
         .unwrap();
     assert!(plan.contains("IndexScan"));
     let mut indexed = t.rows("SELECT V FROM Nums WHERE K = 17");
@@ -188,16 +195,18 @@ fn drop_index_falls_back_to_scan() {
     t.setup_people();
     t.run("CREATE INDEX ON People (City)");
     t.run("DROP INDEX ON People (City)");
-    let plan = t
-        .db
-        .explain(
+    let plan =
+        t.db.explain(
             "SELECT Name FROM People WHERE City = 'Denver'",
             &t.engines,
             QueryOptions::default(),
         )
         .unwrap();
     assert!(!plan.contains("IndexScan"));
-    assert_eq!(t.rows("SELECT COUNT(*) FROM People WHERE City = 'Denver'"), vec!["<3>"]);
+    assert_eq!(
+        t.rows("SELECT COUNT(*) FROM People WHERE City = 'Denver'"),
+        vec!["<3>"]
+    );
 }
 
 #[test]
@@ -220,11 +229,20 @@ fn indexes_persist_across_reopen() {
     }
     let mut db = Database::open(dir.path()).unwrap();
     let plan = db
-        .explain("SELECT V FROM T WHERE K = 'a'", &engines, QueryOptions::default())
+        .explain(
+            "SELECT V FROM T WHERE K = 'a'",
+            &engines,
+            QueryOptions::default(),
+        )
         .unwrap();
     assert!(plan.contains("IndexScan"), "{plan}");
     let results = db
-        .run_sql("SELECT V FROM T WHERE K = 'a'", &engines, &pump, QueryOptions::default())
+        .run_sql(
+            "SELECT V FROM T WHERE K = 'a'",
+            &engines,
+            &pump,
+            QueryOptions::default(),
+        )
         .unwrap();
     match &results[0] {
         StatementResult::Rows(r) => assert_eq!(r.rows.len(), 2),
@@ -245,7 +263,12 @@ fn show_tables_and_describe() {
     );
     assert!(t
         .db
-        .run_sql("DESCRIBE Nope", &t.engines, &t.pump, QueryOptions::default())
+        .run_sql(
+            "DESCRIBE Nope",
+            &t.engines,
+            &t.pump,
+            QueryOptions::default()
+        )
         .is_err());
 }
 
@@ -302,9 +325,7 @@ fn insert_select_materializes_web_results() {
     // Materialize live Web counts into a local cache table — the natural
     // WSQ companion to the [HN96]-style result cache.
     assert_eq!(
-        t.affected(
-            "INSERT INTO WebCache SELECT Name, Count FROM Places, WebCount WHERE Name = T1"
-        ),
+        t.affected("INSERT INTO WebCache SELECT Name, Count FROM Places, WebCount WHERE Name = T1"),
         2
     );
     let rows = t.rows("SELECT Term FROM WebCache WHERE Hits > 0 ORDER BY Term");
@@ -325,14 +346,11 @@ fn index_on_join_column_used_in_wsq_query() {
     t.run("CREATE TABLE S (Name VARCHAR(32))");
     t.run("INSERT INTO S VALUES ('Colorado'), ('Utah'), ('Texas')");
     t.run("CREATE INDEX ON S (Name)");
-    let rows = t.rows(
-        "SELECT Name, Count FROM S, WebCount WHERE S.Name = 'Utah' AND Name = T1",
-    );
+    let rows = t.rows("SELECT Name, Count FROM S, WebCount WHERE S.Name = 'Utah' AND Name = T1");
     assert_eq!(rows.len(), 1);
     assert!(rows[0].starts_with("<Utah, "));
-    let plan = t
-        .db
-        .explain(
+    let plan =
+        t.db.explain(
             "SELECT Name, Count FROM S, WebCount WHERE S.Name = 'Utah' AND Name = T1",
             &t.engines,
             QueryOptions::default(),

@@ -113,8 +113,8 @@ impl Harness {
                     mode: ExecutionMode::Asynchronous,
                     strategy,
                     buffer,
-                ..Default::default()
-            },
+                    ..Default::default()
+                },
             );
             let mut a: Vec<String> = baseline.rows.iter().map(|t| t.to_string()).collect();
             let mut b: Vec<String> = got.rows.iter().map(|t| t.to_string()).collect();
@@ -142,7 +142,9 @@ fn strings(result: &wsq_engine::QueryResult, col: usize) -> Vec<String> {
 #[test]
 fn local_only_queries_work() {
     let mut h = harness();
-    let r = h.query("SELECT Name, Population FROM States WHERE Population > 10000000 ORDER BY Population DESC");
+    let r = h.query(
+        "SELECT Name, Population FROM States WHERE Population > 10000000 ORDER BY Population DESC",
+    );
     let names = strings(&r, 0);
     assert_eq!(names[0], "California");
     assert!(names.contains(&"Texas".to_string()));
@@ -151,9 +153,7 @@ fn local_only_queries_work() {
     let r = h.query("SELECT COUNT(*) FROM States");
     assert_eq!(r.rows[0].get(0).as_int().unwrap(), 50);
 
-    let r = h.query(
-        "SELECT Capital FROM States WHERE Name = 'Colorado'",
-    );
+    let r = h.query("SELECT Capital FROM States WHERE Name = 'Colorado'");
     assert_eq!(strings(&r, 0), vec!["Denver"]);
 }
 
@@ -255,7 +255,11 @@ fn paper_query_6_engine_agreement() {
     );
     // Shape: the engines agree on a few URLs, far fewer than 50×5.
     assert!(!r.rows.is_empty(), "engines never agree");
-    assert!(r.rows.len() < 100, "engines agree on too much: {}", r.rows.len());
+    assert!(
+        r.rows.len() < 100,
+        "engines agree on too much: {}",
+        r.rows.len()
+    );
 }
 
 #[test]
@@ -290,10 +294,7 @@ fn webpages_cancellation_when_no_results() {
 #[test]
 fn standalone_virtual_table() {
     let mut h = harness();
-    let r = h.query_all_modes(
-        "SELECT Count FROM WebCount WHERE T1 = 'California'",
-        false,
-    );
+    let r = h.query_all_modes("SELECT Count FROM WebCount WHERE T1 = 'California'", false);
     assert_eq!(r.rows.len(), 1);
     assert!(r.rows[0].get(0).as_int().unwrap() > 100);
 }
@@ -369,9 +370,7 @@ fn filter_on_web_count_value() {
 fn like_in_between_and_having_end_to_end() {
     let mut h = harness();
     // LIKE over state names.
-    let r = h.query(
-        "SELECT Name FROM States WHERE Name LIKE 'New%' ORDER BY Name",
-    );
+    let r = h.query("SELECT Name FROM States WHERE Name LIKE 'New%' ORDER BY Name");
     assert_eq!(
         strings(&r, 0),
         vec!["New Hampshire", "New Jersey", "New Mexico", "New York"]
@@ -386,9 +385,7 @@ fn like_in_between_and_having_end_to_end() {
     assert_eq!(r.rows.len(), 3);
     assert_eq!(r.rows[0].get(0).as_str().unwrap(), "Texas");
     // BETWEEN on population.
-    let r = h.query(
-        "SELECT COUNT(*) FROM States WHERE Population BETWEEN 1000000 AND 2000000",
-    );
+    let r = h.query("SELECT COUNT(*) FROM States WHERE Population BETWEEN 1000000 AND 2000000");
     assert!(r.rows[0].get(0).as_int().unwrap() > 3);
     // HAVING filters groups.
     let r = h.query(
@@ -397,9 +394,7 @@ fn like_in_between_and_having_end_to_end() {
     );
     assert_eq!(r.rows.len(), 3);
     // HAVING that eliminates everything.
-    let r = h.query(
-        "SELECT Capital, COUNT(*) FROM States GROUP BY Capital HAVING COUNT(*) > 10",
-    );
+    let r = h.query("SELECT Capital, COUNT(*) FROM States GROUP BY Capital HAVING COUNT(*) > 10");
     assert_eq!(r.rows.len(), 0);
     // HAVING over web counts: states whose total is large.
     let r = h.query_all_modes(
@@ -416,15 +411,13 @@ fn planner_errors() {
     let mut h = harness();
     let opts = QueryOptions::default();
     // Unbound T1.
-    let err = h
-        .db
-        .run_sql("SELECT Count FROM WebCount", &h.engines, &h.pump, opts)
-        .unwrap_err();
+    let err =
+        h.db.run_sql("SELECT Count FROM WebCount", &h.engines, &h.pump, opts)
+            .unwrap_err();
     assert!(err.to_string().contains("bound") || err.to_string().contains("search terms"));
     // Binding from a LATER table is not allowed (FROM order = join order).
-    let err = h
-        .db
-        .run_sql(
+    let err =
+        h.db.run_sql(
             "SELECT Count FROM WebCount, States WHERE Name = T1",
             &h.engines,
             &h.pump,
@@ -433,9 +426,8 @@ fn planner_errors() {
         .unwrap_err();
     assert!(matches!(err, wsq_common::WsqError::Plan(_)));
     // Unknown engine suffix.
-    let err = h
-        .db
-        .run_sql(
+    let err =
+        h.db.run_sql(
             "SELECT Count FROM WebCount_Bing WHERE T1 = 'x'",
             &h.engines,
             &h.pump,
@@ -492,16 +484,15 @@ fn uncorrelated_subqueries() {
     assert!(strings(&r, 0).contains(&"California".to_string()));
 
     // Subquery in DML.
-    h.db
-        .run_sql(
-            "CREATE TABLE Flagged (Name VARCHAR(32));\
+    h.db.run_sql(
+        "CREATE TABLE Flagged (Name VARCHAR(32));\
              INSERT INTO Flagged SELECT Name FROM States WHERE Population < 700000;\
              DELETE FROM Flagged WHERE Name IN (SELECT Capital FROM States)",
-            &h.engines,
-            &h.pump,
-            QueryOptions::default(),
-        )
-        .unwrap();
+        &h.engines,
+        &h.pump,
+        QueryOptions::default(),
+    )
+    .unwrap();
 
     // Error paths: multi-column and multi-row scalar subqueries.
     assert!(h
@@ -530,7 +521,11 @@ fn order_by_non_projected_column() {
     // Sort key not in the select list: Sort plans below the Project.
     let r = h.query("SELECT Name FROM States ORDER BY Population DESC LIMIT 3");
     assert_eq!(strings(&r, 0), vec!["California", "Texas", "New York"]);
-    assert_eq!(r.schema.len(), 1, "Population must not leak into the output");
+    assert_eq!(
+        r.schema.len(),
+        1,
+        "Population must not leak into the output"
+    );
 
     // Alias and ordinal keys still work.
     let r = h.query("SELECT Name, Population / 1000 AS K FROM States ORDER BY K DESC LIMIT 1");
@@ -593,9 +588,8 @@ fn parallel_joins_mode_matches_sync_results() {
         assert_eq!(sync.rows, parallel.rows, "parallel diverged on: {sql}");
     }
     // The EXPLAIN output shows the parallel operator.
-    let plan = h
-        .db
-        .explain(
+    let plan =
+        h.db.explain(
             queries[0],
             &h.engines,
             QueryOptions {
@@ -604,7 +598,10 @@ fn parallel_joins_mode_matches_sync_results() {
             },
         )
         .unwrap();
-    assert!(plan.contains("Parallel Dependent Join (threads=16)"), "{plan}");
+    assert!(
+        plan.contains("Parallel Dependent Join (threads=16)"),
+        "{plan}"
+    );
     assert!(!plan.contains("ReqSync"));
 }
 
@@ -612,9 +609,7 @@ fn parallel_joins_mode_matches_sync_results() {
 fn pump_does_not_leak_calls() {
     let mut h = harness();
     h.query("SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC");
-    h.query(
-        "SELECT Name, URL FROM States, WebPages WHERE Name = T1 AND Rank <= 3",
-    );
+    h.query("SELECT Name, URL FROM States, WebPages WHERE Name = T1 AND Rank <= 3");
     assert_eq!(h.pump.live_calls(), 0, "ReqSync must release every call");
 }
 
@@ -623,18 +618,15 @@ fn limit_above_reqsync_releases_pending() {
     let mut h = harness();
     // LIMIT cuts the query short; buffered placeholder tuples must still
     // release their pump registrations on close.
-    h.query(
-        "SELECT Name, Count FROM States, WebCount WHERE Name = T1 LIMIT 3",
-    );
+    h.query("SELECT Name, Count FROM States, WebCount WHERE Name = T1 LIMIT 3");
     assert_eq!(h.pump.live_calls(), 0);
 }
 
 #[test]
 fn multi_statement_script_and_persistence() {
     let mut h = harness();
-    let results = h
-        .db
-        .run_sql(
+    let results =
+        h.db.run_sql(
             "CREATE TABLE Notes (Body VARCHAR(64), Score INT);\
              INSERT INTO Notes VALUES ('a', 1), ('b', 2), ('c', 2);\
              SELECT Score, COUNT(*) AS n FROM Notes GROUP BY Score ORDER BY Score;",
@@ -690,9 +682,8 @@ fn disk_database_roundtrip() {
 #[test]
 fn explain_matches_figure_3_shape() {
     let h = harness();
-    let text = h
-        .db
-        .explain(
+    let text =
+        h.db.explain(
             "SELECT Name, Count FROM Sigs, WebCount \
              WHERE Name = T1 AND T2 = 'Knuth' ORDER BY Count DESC",
             &h.engines,
@@ -711,9 +702,8 @@ fn explain_matches_figure_3_shape() {
     assert!(sort_pos < sync_pos && sync_pos < dj_pos && dj_pos < scan_pos && scan_pos < aev_pos);
 
     // Synchronous plan uses EVScan and no ReqSync.
-    let sync_text = h
-        .db
-        .explain(
+    let sync_text =
+        h.db.explain(
             "SELECT Name, Count FROM Sigs, WebCount WHERE Name = T1",
             &h.engines,
             QueryOptions {

@@ -99,15 +99,13 @@ fn web_supported_view() {
         "CREATE VIEW StateCounts AS \
          SELECT Name AS State, Count AS Hits FROM States, WebCount WHERE Name = T1",
     );
-    let rows = t.rows(
-        "SELECT State FROM StateCounts WHERE Hits > 0 ORDER BY Hits DESC, State LIMIT 2",
-    );
+    let rows =
+        t.rows("SELECT State FROM StateCounts WHERE Hits > 0 ORDER BY Hits DESC, State LIMIT 2");
     assert_eq!(rows, vec!["<California>", "<Texas>"]);
     assert_eq!(t.pump.live_calls(), 0);
     // The asynchronous plan reaches through the view boundary.
-    let plan = t
-        .db
-        .explain(
+    let plan =
+        t.db.explain(
             "SELECT State FROM StateCounts",
             &t.engines,
             QueryOptions::default(),
@@ -136,7 +134,12 @@ fn view_persistence_across_reopen() {
     }
     let mut db = Database::open(dir.path()).unwrap();
     let results = db
-        .run_sql("SELECT x FROM BigX ORDER BY x", &engines, &pump, QueryOptions::default())
+        .run_sql(
+            "SELECT x FROM BigX ORDER BY x",
+            &engines,
+            &pump,
+            QueryOptions::default(),
+        )
         .unwrap();
     match &results[0] {
         StatementResult::Rows(r) => {
@@ -154,16 +157,24 @@ fn view_error_handling() {
     // Name collisions in both directions.
     t.run("CREATE VIEW V AS SELECT Name FROM States");
     assert!(t.err("CREATE TABLE V (x INT)").contains("view"));
-    assert!(t.err("CREATE VIEW States AS SELECT 1 FROM States").contains("table"));
-    assert!(t.err("CREATE VIEW V AS SELECT Name FROM States").contains("exists"));
+    assert!(t
+        .err("CREATE VIEW States AS SELECT 1 FROM States")
+        .contains("table"));
+    assert!(t
+        .err("CREATE VIEW V AS SELECT Name FROM States")
+        .contains("exists"));
     // Reserved names.
-    assert!(t.err("CREATE VIEW WebCount AS SELECT Name FROM States").contains("reserved"));
+    assert!(t
+        .err("CREATE VIEW WebCount AS SELECT Name FROM States")
+        .contains("reserved"));
     // Duplicate output columns rejected at definition time.
     assert!(t
         .err("CREATE VIEW D AS SELECT Name, Name FROM States")
         .contains("duplicate"));
     // Invalid definitions rejected at definition time.
-    assert!(t.err("CREATE VIEW E AS SELECT Nope FROM States").contains("Nope"));
+    assert!(t
+        .err("CREATE VIEW E AS SELECT Nope FROM States")
+        .contains("Nope"));
     // DML against a view fails (it is not a table).
     assert!(!t.err("INSERT INTO V VALUES ('x')").is_empty());
     assert!(!t.err("DELETE FROM V").is_empty());

@@ -1,10 +1,23 @@
 //! The ReqPump implementation: registration, concurrency-limited dispatch,
 //! result storage (`ReqPumpHash`), and completion signalling.
+//!
+//! # Completion delivery
+//!
+//! Completion signalling is *targeted*: each [`ReqPump::wait_any`] caller
+//! registers an interest record for exactly the calls it waits on, and
+//! [`complete`] wakes only the waiters interested in the finished call —
+//! there is no broadcast condvar that every consumer re-checks on every
+//! completion. The wakeup carries the completed [`CallId`], so a woken
+//! waiter returns immediately instead of re-scanning its call set under
+//! the pump lock. Statistics are plain atomics, read without locking, and
+//! [`ReqPump::take_completed`] drains any number of finished calls in one
+//! lock acquisition.
 
 use crate::service::{SearchRequest, SearchResult, SearchService, ServiceReply};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -51,7 +64,7 @@ impl Default for PumpConfig {
     }
 }
 
-/// Cumulative pump statistics.
+/// Cumulative pump statistics (a snapshot of the atomic counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PumpStats {
     /// Calls registered (including coalesced registrations).
@@ -66,6 +79,70 @@ pub struct PumpStats {
     pub peak_in_flight: u64,
     /// Highest queue length observed while waiting for capacity.
     pub peak_queued: u64,
+}
+
+/// Lock-free statistic counters; `stats()` never touches the state mutex.
+#[derive(Default)]
+struct Counters {
+    registered: AtomicU64,
+    launched: AtomicU64,
+    completed: AtomicU64,
+    coalesced: AtomicU64,
+    peak_in_flight: AtomicU64,
+    peak_queued: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> PumpStats {
+        PumpStats {
+            registered: self.registered.load(Ordering::Relaxed),
+            launched: self.launched.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
+            peak_queued: self.peak_queued.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What a sleeping waiter is woken with.
+#[derive(Debug, Clone, Copy)]
+enum Wake {
+    /// This call completed (its result is in the store, unless every
+    /// registrant released it first).
+    Done(CallId),
+    /// The pump shut down; stop waiting.
+    Shutdown,
+}
+
+/// One blocked `wait_any` caller. The waiter sleeps on its own condvar;
+/// `complete` delivers the finished id directly into `slot`, so the woken
+/// thread never re-scans its call set.
+#[derive(Default)]
+struct Waiter {
+    slot: Mutex<Option<Wake>>,
+    cv: Condvar,
+}
+
+impl Waiter {
+    /// Deliver `wake` unless another completion got here first.
+    fn wake(&self, wake: Wake) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(wake);
+            self.cv.notify_one();
+        }
+    }
+
+    fn sleep(&self) -> Wake {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(wake) = *slot {
+                return wake;
+            }
+            self.cv.wait(&mut slot);
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,20 +167,20 @@ struct State {
     results: HashMap<CallId, Result<SearchResult>>,
     /// Coalescing index over calls that are still known to the pump.
     index: HashMap<SearchRequest, CallId>,
+    /// Waiters blocked on each not-yet-completed call.
+    interest: HashMap<CallId, Vec<Arc<Waiter>>>,
     active_total: usize,
     active_per_dest: HashMap<String, usize>,
     shutdown: bool,
-    stats: PumpStats,
 }
 
 struct Shared {
     config: PumpConfig,
     services: RwLock<HashMap<String, Arc<dyn SearchService>>>,
     state: Mutex<State>,
-    /// Wakes the dispatcher (new work / shutdown).
+    /// Wakes the dispatcher (new work / capacity freed / shutdown).
     work_cv: Condvar,
-    /// Wakes consumers (a call completed / shutdown).
-    done_cv: Condvar,
+    stats: Counters,
 }
 
 /// The global asynchronous request manager. See the crate docs.
@@ -121,7 +198,7 @@ impl ReqPump {
             services: RwLock::new(HashMap::new()),
             state: Mutex::new(State::default()),
             work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
+            stats: Counters::default(),
         });
         let mut workers = Vec::new();
         match config.dispatch {
@@ -177,10 +254,10 @@ impl ReqPump {
         if st.shutdown {
             return Err(WsqError::PumpShutdown);
         }
-        st.stats.registered += 1;
+        self.shared.stats.registered.fetch_add(1, Ordering::Relaxed);
         if self.shared.config.coalesce {
             if let Some(&cid) = st.index.get(&req) {
-                st.stats.coalesced += 1;
+                self.shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
                 st.meta.get_mut(&cid).expect("indexed call has meta").refs += 1;
                 return Ok(cid);
             }
@@ -188,7 +265,8 @@ impl ReqPump {
         let cid = CallId(st.next_call);
         st.next_call += 1;
 
-        // Fail fast on unknown destinations: complete with an error.
+        // Fail fast on unknown destinations: complete with an error. The
+        // call id is brand new, so no waiter can be interested yet.
         if !self.shared.services.read().contains_key(&req.engine) {
             st.meta.insert(
                 cid,
@@ -202,7 +280,6 @@ impl ReqPump {
                 cid,
                 Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
             );
-            self.shared.done_cv.notify_all();
             return Ok(cid);
         }
 
@@ -217,7 +294,10 @@ impl ReqPump {
         );
         st.queue.push_back(cid);
         let queued = st.queue.len() as u64;
-        st.stats.peak_queued = st.stats.peak_queued.max(queued);
+        self.shared
+            .stats
+            .peak_queued
+            .fetch_max(queued, Ordering::Relaxed);
         drop(st);
         self.shared.work_cv.notify_all();
         Ok(cid)
@@ -228,16 +308,32 @@ impl ReqPump {
         self.shared.state.lock().results.get(&call).cloned()
     }
 
+    /// Non-blocking bulk drain: the results of every call in `calls` that
+    /// has completed, gathered under a single lock acquisition. Results
+    /// stay in the store until released, exactly like [`ReqPump::peek`].
+    ///
+    /// This is the batched path `ReqSync` uses to absorb a burst of
+    /// completions: one lock round instead of one `peek` per call.
+    pub fn take_completed(&self, calls: &[CallId]) -> Vec<(CallId, Result<SearchResult>)> {
+        let st = self.shared.state.lock();
+        calls
+            .iter()
+            .filter_map(|c| st.results.get(c).map(|r| (*c, r.clone())))
+            .collect()
+    }
+
     /// Block until any of `calls` completes; returns the first one found.
     ///
     /// This is the signal `ReqSync` blocks on in its `get_next` when no
-    /// completed tuple is available.
+    /// completed tuple is available. The sleeping thread is woken only by
+    /// a completion of one of `calls` (or shutdown), and the wakeup
+    /// carries the completed id — no rescan of the call set on wake.
     pub fn wait_any(&self, calls: &[CallId]) -> Result<CallId> {
         if calls.is_empty() {
             return Err(WsqError::Exec("wait_any on empty call set".to_string()));
         }
-        let mut st = self.shared.state.lock();
-        loop {
+        let waiter = {
+            let mut st = self.shared.state.lock();
             if let Some(&done) = calls.iter().find(|c| st.results.contains_key(c)) {
                 return Ok(done);
             }
@@ -250,15 +346,39 @@ impl ReqPump {
                     "wait_any on unknown call {unknown}"
                 )));
             }
-            self.shared.done_cv.wait(&mut st);
+            let waiter = Arc::new(Waiter::default());
+            for &c in calls {
+                st.interest.entry(c).or_default().push(waiter.clone());
+            }
+            waiter
+        };
+        let wake = waiter.sleep();
+        // Deregister from the calls that did not fire.
+        {
+            let mut st = self.shared.state.lock();
+            for &c in calls {
+                if let Some(list) = st.interest.get_mut(&c) {
+                    list.retain(|w| !Arc::ptr_eq(w, &waiter));
+                    if list.is_empty() {
+                        st.interest.remove(&c);
+                    }
+                }
+            }
+        }
+        match wake {
+            Wake::Done(cid) => Ok(cid),
+            Wake::Shutdown => Err(WsqError::PumpShutdown),
         }
     }
 
     /// Block until `call` completes and return (a clone of) its result.
     pub fn wait(&self, call: CallId) -> Result<SearchResult> {
-        self.wait_any(std::slice::from_ref(&call))?;
-        self.peek(call)
-            .expect("wait_any returned, result must be present")
+        let done = self.wait_any(std::slice::from_ref(&call))?;
+        self.peek(done).unwrap_or_else(|| {
+            Err(WsqError::Exec(format!(
+                "call {call} completed but its result was released"
+            )))
+        })
     }
 
     /// Release one reference to `call`. When the last reference is
@@ -301,20 +421,24 @@ impl ReqPump {
         self.shared.state.lock().meta.len()
     }
 
-    /// Snapshot of statistics.
+    /// Snapshot of statistics. Reads atomics only — never blocks on the
+    /// pump state lock.
     pub fn stats(&self) -> PumpStats {
-        self.shared.state.lock().stats
+        self.shared.stats.snapshot()
     }
 
     /// Stop the dispatcher. Outstanding `wait` calls return
     /// [`WsqError::PumpShutdown`]; queued calls are dropped.
     pub fn shutdown(&self) {
-        {
+        let waiters: Vec<Arc<Waiter>> = {
             let mut st = self.shared.state.lock();
             st.shutdown = true;
+            st.interest.drain().flat_map(|(_, w)| w).collect()
+        };
+        for w in waiters {
+            w.wake(Wake::Shutdown);
         }
         self.shared.work_cv.notify_all();
-        self.shared.done_cv.notify_all();
         let mut workers = self.workers.lock();
         for w in workers.drain(..) {
             let _ = w.join();
@@ -352,7 +476,8 @@ fn has_launchable(st: &State, config: &PumpConfig) -> bool {
 /// Find the first queued call that can launch under current limits.
 /// Scanning past the head avoids head-of-line blocking when one destination
 /// is saturated but another has capacity.
-fn pop_launchable(st: &mut State, config: &PumpConfig) -> Option<CallId> {
+fn pop_launchable(st: &mut State, shared: &Shared) -> Option<CallId> {
+    let config = &shared.config;
     if st.active_total >= config.max_concurrent {
         return None;
     }
@@ -367,39 +492,46 @@ fn pop_launchable(st: &mut State, config: &PumpConfig) -> Option<CallId> {
     let dest = meta.req.engine.clone();
     st.active_total += 1;
     *st.active_per_dest.entry(dest).or_insert(0) += 1;
-    st.stats.launched += 1;
-    st.stats.peak_in_flight = st.stats.peak_in_flight.max(st.active_total as u64);
+    shared.stats.launched.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .peak_in_flight
+        .fetch_max(st.active_total as u64, Ordering::Relaxed);
     Some(cid)
 }
 
-/// Mark a call complete, store its result, free its capacity, and signal
-/// consumers.
+/// Mark a call complete, store its result, free its capacity, and wake
+/// exactly the waiters interested in it.
 fn complete(shared: &Shared, cid: CallId, result: Result<SearchResult>) {
-    let mut st = shared.state.lock();
-    st.active_total = st.active_total.saturating_sub(1);
-    let orphaned = match st.meta.get_mut(&cid) {
-        Some(meta) => {
-            meta.state = CallState::Done;
-            let dest = meta.req.engine.clone();
-            let refs = meta.refs;
-            if let Some(n) = st.active_per_dest.get_mut(&dest) {
-                *n = n.saturating_sub(1);
+    let waiters = {
+        let mut st = shared.state.lock();
+        st.active_total = st.active_total.saturating_sub(1);
+        let orphaned = match st.meta.get_mut(&cid) {
+            Some(meta) => {
+                meta.state = CallState::Done;
+                let dest = meta.req.engine.clone();
+                let refs = meta.refs;
+                if let Some(n) = st.active_per_dest.get_mut(&dest) {
+                    *n = n.saturating_sub(1);
+                }
+                refs == 0
             }
-            refs == 0
+            None => true,
+        };
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        if orphaned {
+            // Every registrant released before completion: drop everything.
+            if let Some(meta) = st.meta.remove(&cid) {
+                st.index.remove(&meta.req);
+            }
+        } else {
+            st.results.insert(cid, result);
         }
-        None => true,
+        st.interest.remove(&cid).unwrap_or_default()
     };
-    st.stats.completed += 1;
-    if orphaned {
-        // Every registrant released before completion: drop everything.
-        if let Some(meta) = st.meta.remove(&cid) {
-            st.index.remove(&meta.req);
-        }
-    } else {
-        st.results.insert(cid, result);
+    for w in waiters {
+        w.wake(Wake::Done(cid));
     }
-    drop(st);
-    shared.done_cv.notify_all();
     shared.work_cv.notify_all(); // capacity freed: dispatcher may launch more
 }
 
@@ -441,7 +573,7 @@ fn event_loop(shared: Arc<Shared>) {
             if st.shutdown {
                 return;
             }
-            while let Some(cid) = pop_launchable(&mut st, &shared.config) {
+            while let Some(cid) = pop_launchable(&mut st, &shared) {
                 let req = st.meta[&cid].req.clone();
                 launches.push((cid, req));
             }
@@ -452,10 +584,7 @@ fn event_loop(shared: Arc<Shared>) {
             let reply = match service {
                 Some(svc) => svc.execute(&req),
                 None => ServiceReply {
-                    result: Err(WsqError::Search(format!(
-                        "unknown engine '{}'",
-                        req.engine
-                    ))),
+                    result: Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
                     latency: Duration::ZERO,
                 },
             };
@@ -503,7 +632,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 if st.shutdown {
                     return;
                 }
-                if let Some(cid) = pop_launchable(&mut st, &shared.config) {
+                if let Some(cid) = pop_launchable(&mut st, &shared) {
                     let req = st.meta[&cid].req.clone();
                     break (cid, req);
                 }
@@ -514,10 +643,7 @@ fn worker_loop(shared: Arc<Shared>) {
         let reply = match service {
             Some(svc) => svc.execute(&req),
             None => ServiceReply {
-                result: Err(WsqError::Search(format!(
-                    "unknown engine '{}'",
-                    req.engine
-                ))),
+                result: Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
                 latency: Duration::ZERO,
             },
         };
@@ -706,11 +832,56 @@ mod tests {
     }
 
     #[test]
+    fn wait_any_wakeup_carries_the_completed_id() {
+        // One destination is serialized and slow, the other fast: the
+        // wakeup must deliver the fast call's id even though the slow call
+        // is listed first.
+        let mut per = HashMap::new();
+        per.insert("AV".to_string(), 1);
+        let config = PumpConfig {
+            per_destination: per,
+            ..PumpConfig::default()
+        };
+        let pump = ReqPump::new(config);
+        pump.register_service("AV", Probe::new(Duration::from_millis(120)));
+        pump.register_service("Google", Probe::new(Duration::from_millis(5)));
+        let slow = pump.register(req("AV", "slow")).unwrap();
+        let fast = pump.register(req("Google", "fast")).unwrap();
+        let done = pump.wait_any(&[slow, fast]).unwrap();
+        assert_eq!(done, fast);
+        pump.wait(slow).unwrap();
+    }
+
+    #[test]
     fn wait_any_on_unknown_call_errors() {
         let pump = ReqPump::with_service("AV", Probe::new(Duration::ZERO));
         let err = pump.wait_any(&[CallId(999)]).unwrap_err();
         assert!(matches!(err, WsqError::Exec(_)));
         assert!(pump.wait_any(&[]).is_err());
+    }
+
+    #[test]
+    fn take_completed_drains_in_one_pass() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_millis(5)));
+        let ids: Vec<CallId> = (0..6)
+            .map(|i| pump.register(req("AV", &format!("tc{i}"))).unwrap())
+            .collect();
+        for &cid in &ids {
+            pump.wait(cid).unwrap();
+        }
+        let done = pump.take_completed(&ids);
+        assert_eq!(done.len(), ids.len());
+        for (cid, result) in &done {
+            assert!(ids.contains(cid));
+            assert!(result.is_ok());
+        }
+        // Results are not consumed: peek still sees them until release.
+        assert!(pump.peek(ids[0]).is_some());
+        for &cid in &ids {
+            pump.release(cid);
+        }
+        assert!(pump.take_completed(&ids).is_empty());
+        assert_eq!(pump.live_calls(), 0);
     }
 
     #[test]
@@ -811,5 +982,28 @@ mod tests {
         }
         assert_eq!(pump.live_calls(), 0);
         assert_eq!(pump.stats().completed, 100);
+    }
+
+    #[test]
+    fn many_waiters_each_get_their_own_completion() {
+        // Each thread waits on its own call; targeted delivery must wake
+        // every one of them exactly with its id.
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_millis(10)));
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let pump = pump.clone();
+                std::thread::spawn(move || {
+                    let cid = pump.register(req("AV", &format!("w{i:02}"))).unwrap();
+                    let done = pump.wait_any(&[cid]).unwrap();
+                    assert_eq!(done, cid);
+                    pump.release(cid);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pump.live_calls(), 0);
+        assert_eq!(pump.stats().completed, 16);
     }
 }

@@ -7,6 +7,7 @@
 //! path).
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 use wsq_common::Result;
 
@@ -41,7 +42,11 @@ impl fmt::Display for SearchRequest {
         match &self.kind {
             RequestKind::Count => write!(f, "{}:count({:?})", self.engine, self.expr),
             RequestKind::Pages { max_rank } => {
-                write!(f, "{}:pages({:?}, rank<={max_rank})", self.engine, self.expr)
+                write!(
+                    f,
+                    "{}:pages({:?}, rank<={max_rank})",
+                    self.engine, self.expr
+                )
             }
         }
     }
@@ -59,15 +64,25 @@ pub struct PageHit {
 }
 
 /// A completed search result.
+///
+/// The pages payload is reference-counted: results flow from the service
+/// through the pump's result store, the cache, and into every patched
+/// tuple, and each hop used to deep-copy the hit vector. `Arc<[PageHit]>`
+/// makes every clone on that path a pointer bump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SearchResult {
     /// Total page count for a [`RequestKind::Count`] request.
     Count(u64),
     /// Ranked hits for a [`RequestKind::Pages`] request, rank ascending.
-    Pages(Vec<PageHit>),
+    Pages(Arc<[PageHit]>),
 }
 
 impl SearchResult {
+    /// Build a pages result from a hit vector.
+    pub fn pages_from(hits: Vec<PageHit>) -> Self {
+        SearchResult::Pages(hits.into())
+    }
+
     /// The count, if this is a count result.
     pub fn count(&self) -> Option<u64> {
         match self {
@@ -172,7 +187,7 @@ mod tests {
     fn result_accessors() {
         assert_eq!(SearchResult::Count(3).count(), Some(3));
         assert_eq!(SearchResult::Count(3).pages(), None);
-        let p = SearchResult::Pages(vec![]);
+        let p = SearchResult::pages_from(vec![]);
         assert_eq!(p.count(), None);
         assert_eq!(p.pages().unwrap().len(), 0);
     }

@@ -8,8 +8,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 use wsq_pump::{
-    DispatchMode, PumpConfig, ReqPump, RequestKind, SearchRequest, SearchResult,
-    SearchService, ServiceReply,
+    DispatchMode, PumpConfig, ReqPump, RequestKind, SearchRequest, SearchResult, SearchService,
+    ServiceReply,
 };
 
 /// Deterministic test service: count = f(expr), latency = tiny hash jitter.

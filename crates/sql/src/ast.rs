@@ -350,9 +350,7 @@ impl Expr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             Expr::Agg { .. } => true,
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.contains_aggregate() || rhs.contains_aggregate()
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
             Expr::Unary { expr, .. } => expr.contains_aggregate(),
             Expr::Column(_) | Expr::Literal(_) => false,
             Expr::Like { expr, pattern, .. } => {
@@ -363,11 +361,7 @@ impl Expr {
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             // Subqueries have their own aggregation scope.
             Expr::Subquery(_) => false,
             Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
@@ -441,9 +435,11 @@ impl Expr {
         } else {
             exprs.remove(0)
         };
-        Some(exprs.into_iter().fold(first, |acc, e| {
-            Expr::binary(BinOp::And, acc, e)
-        }))
+        Some(
+            exprs
+                .into_iter()
+                .fold(first, |acc, e| Expr::binary(BinOp::And, acc, e)),
+        )
     }
 }
 
@@ -453,13 +449,16 @@ impl fmt::Display for Expr {
             Expr::Column(c) => write!(f, "{c}"),
             Expr::Literal(l) => write!(f, "{l}"),
             Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {} {rhs})", op.symbol()),
-            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "(-{expr})"),
-            Expr::Unary { op: UnOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => write!(f, "(-{expr})"),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => write!(f, "(NOT {expr})"),
             Expr::Agg { func, arg: None } => write!(f, "{func}(*)"),
-            Expr::Agg {
-                func,
-                arg: Some(a),
-            } => write!(f, "{func}({a})"),
+            Expr::Agg { func, arg: Some(a) } => write!(f, "{func}({a})"),
             Expr::Like {
                 expr,
                 pattern,

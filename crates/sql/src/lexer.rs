@@ -171,9 +171,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                             i += 1;
                         }
                         None => {
-                            return Err(WsqError::Parse(
-                                "unterminated string literal".to_string(),
-                            ))
+                            return Err(WsqError::Parse("unterminated string literal".to_string()))
                         }
                     }
                 }
@@ -197,9 +195,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 if is_float {
-                    let v = text.parse::<f64>().map_err(|e| {
-                        WsqError::Parse(format!("bad float literal '{text}': {e}"))
-                    })?;
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| WsqError::Parse(format!("bad float literal '{text}': {e}")))?;
                     out.push(Token::Float(v));
                 } else {
                     let v = text.parse::<i64>().map_err(|e| {

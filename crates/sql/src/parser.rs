@@ -308,11 +308,7 @@ impl Parser {
             let table = self.ident()?;
             // Optional alias: a bare identifier that is not a clause keyword.
             let alias = match self.peek() {
-                Some(Token::Ident(s))
-                    if !is_clause_keyword(s) =>
-                {
-                    Some(self.ident()?)
-                }
+                Some(Token::Ident(s)) if !is_clause_keyword(s) => Some(self.ident()?),
                 _ => None,
             };
             from.push(TableRef { table, alias });
@@ -651,8 +647,8 @@ fn agg_func(name: &str) -> Option<AggFunc> {
 
 fn is_clause_keyword(s: &str) -> bool {
     [
-        "WHERE", "GROUP", "ORDER", "LIMIT", "ON", "AND", "OR", "AS", "FROM",
-        "SELECT", "HAVING", "UNION",
+        "WHERE", "GROUP", "ORDER", "LIMIT", "ON", "AND", "OR", "AS", "FROM", "SELECT", "HAVING",
+        "UNION",
     ]
     .iter()
     .any(|k| s.eq_ignore_ascii_case(k))
@@ -671,10 +667,8 @@ mod tests {
 
     #[test]
     fn paper_query_1() {
-        let s = sel(
-            "Select Name, Count From States, WebCount \
-             Where Name = T1 Order By Count Desc",
-        );
+        let s = sel("Select Name, Count From States, WebCount \
+             Where Name = T1 Order By Count Desc");
         assert_eq!(s.items.len(), 2);
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[1].table, "WebCount");
@@ -686,10 +680,8 @@ mod tests {
 
     #[test]
     fn paper_query_2_arithmetic_alias() {
-        let s = sel(
-            "Select Name, Count/Population As C From States, WebCount \
-             Where Name = T1 Order By C Desc",
-        );
+        let s = sel("Select Name, Count/Population As C From States, WebCount \
+             Where Name = T1 Order By C Desc");
         match &s.items[1] {
             SelectItem::Expr { expr, alias } => {
                 assert_eq!(alias.as_deref(), Some("C"));
@@ -701,11 +693,9 @@ mod tests {
 
     #[test]
     fn paper_query_4_aliases_and_qualified_refs() {
-        let s = sel(
-            "Select Capital, C.Count, Name, S.Count \
+        let s = sel("Select Capital, C.Count, Name, S.Count \
              From States, WebCount C, WebCount S \
-             Where Capital = C.T1 and Name = S.T1 and C.Count > S.Count",
-        );
+             Where Capital = C.T1 and Name = S.T1 and C.Count > S.Count");
         assert_eq!(s.from[1].binding_name(), "C");
         assert_eq!(s.from[2].binding_name(), "S");
         let conjuncts = s.where_clause.unwrap().split_conjuncts();
@@ -728,10 +718,8 @@ mod tests {
 
     #[test]
     fn string_literals_and_constants() {
-        let s = sel(
-            "Select Name, Count From States, WebCount \
-             Where Name = T1 and T2 = 'four corners' Order By Count Desc",
-        );
+        let s = sel("Select Name, Count From States, WebCount \
+             Where Name = T1 and T2 = 'four corners' Order By Count Desc");
         let cs = s.where_clause.unwrap().split_conjuncts();
         assert_eq!(cs[1].to_string(), "(T2 = 'four corners')");
     }
@@ -746,10 +734,8 @@ mod tests {
 
     #[test]
     fn group_by_and_aggregates() {
-        let s = sel(
-            "Select Capital, COUNT(*), SUM(Population) From States \
-             Group By Capital Order By 1",
-        );
+        let s = sel("Select Capital, COUNT(*), SUM(Population) From States \
+             Group By Capital Order By 1");
         assert_eq!(s.group_by.len(), 1);
         match &s.items[1] {
             SelectItem::Expr { expr, .. } => assert_eq!(expr.to_string(), "COUNT(*)"),
@@ -883,10 +869,8 @@ mod tests {
 
     #[test]
     fn having_clause() {
-        let s = sel(
-            "SELECT City, COUNT(*) FROM People GROUP BY City \
-             HAVING COUNT(*) > 2 ORDER BY City",
-        );
+        let s = sel("SELECT City, COUNT(*) FROM People GROUP BY City \
+             HAVING COUNT(*) > 2 ORDER BY City");
         assert_eq!(s.having.unwrap().to_string(), "(COUNT(*) > 2)");
         assert_eq!(s.group_by.len(), 1);
         assert_eq!(s.order_by.len(), 1);
@@ -918,15 +902,18 @@ mod tests {
         match s {
             Statement::Delete { table, predicate } => {
                 assert_eq!(table, "States");
-                assert_eq!(
-                    predicate.unwrap().to_string(),
-                    "(Population < 1000000)"
-                );
+                assert_eq!(predicate.unwrap().to_string(), "(Population < 1000000)");
             }
             _ => panic!(),
         }
         let s = parse_one("DELETE FROM States").unwrap();
-        assert!(matches!(s, Statement::Delete { predicate: None, .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                predicate: None,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -21,8 +21,7 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
     let leaf = prop_oneof![
         arb_literal().prop_map(Expr::Literal),
         "[a-z][a-z0-9_]{0,6}".prop_map(|n| Expr::column(&n)),
-        ("[a-z][a-z0-9_]{0,4}", "[a-z][a-z0-9_]{0,4}")
-            .prop_map(|(q, n)| Expr::qualified(&q, &n)),
+        ("[a-z][a-z0-9_]{0,4}", "[a-z][a-z0-9_]{0,4}").prop_map(|(q, n)| Expr::qualified(&q, &n)),
     ]
     .boxed();
     if depth == 0 {

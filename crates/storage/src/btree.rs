@@ -132,22 +132,27 @@ impl Node {
         HDR + self
             .cells
             .iter()
-            .map(|c| if self.leaf { c.leaf_size() } else { c.internal_size() })
+            .map(|c| {
+                if self.leaf {
+                    c.leaf_size()
+                } else {
+                    c.internal_size()
+                }
+            })
             .sum::<usize>()
     }
 
     /// First cell index whose `(key, rid)` is `>=` the probe.
     fn lower_bound(&self, key: &[u8], rid: Option<Rid>) -> usize {
-        self.cells.partition_point(|c| {
-            match c.key.as_slice().cmp(key) {
+        self.cells
+            .partition_point(|c| match c.key.as_slice().cmp(key) {
                 std::cmp::Ordering::Less => true,
                 std::cmp::Ordering::Greater => false,
                 std::cmp::Ordering::Equal => match rid {
                     None => false,
                     Some(r) => c.rid < r,
                 },
-            }
-        })
+            })
     }
 }
 
@@ -207,19 +212,18 @@ impl BTree {
     }
 
     fn root(&self) -> Result<u32> {
-        self.pool.with_page(self.file, PageId(0), |d| read_u32(d, 4))
+        self.pool
+            .with_page(self.file, PageId(0), |d| read_u32(d, 4))
     }
 
     fn set_root(&self, root: u32) -> Result<()> {
-        self.pool
-            .with_page_mut(self.file, PageId(0), |d| {
-                d[4..8].copy_from_slice(&root.to_le_bytes())
-            })
+        self.pool.with_page_mut(self.file, PageId(0), |d| {
+            d[4..8].copy_from_slice(&root.to_le_bytes())
+        })
     }
 
     fn load(&self, page: u32) -> Result<Node> {
-        self.pool
-            .with_page(self.file, PageId(page), |d| Node::decode(d))
+        self.pool.with_page(self.file, PageId(page), Node::decode)
     }
 
     fn store(&self, page: u32, node: &Node) -> Result<()> {

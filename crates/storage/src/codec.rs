@@ -40,9 +40,8 @@ pub fn encode(schema: &Schema, tuple: &Tuple) -> Result<Vec<u8>> {
             }
             Value::Str(s) => {
                 expect_type(col.dtype, DataType::Varchar, i)?;
-                let len = u32::try_from(s.len()).map_err(|_| {
-                    WsqError::Storage("string longer than u32::MAX".to_string())
-                })?;
+                let len = u32::try_from(s.len())
+                    .map_err(|_| WsqError::Storage("string longer than u32::MAX".to_string()))?;
                 out.extend_from_slice(&len.to_le_bytes());
                 out.extend_from_slice(s.as_bytes());
             }
@@ -70,7 +69,9 @@ pub fn decode(schema: &Schema, bytes: &[u8]) -> Result<Tuple> {
     let n = schema.len();
     let bitmap_len = n.div_ceil(8);
     if bytes.len() < bitmap_len {
-        return Err(WsqError::Storage("record shorter than null bitmap".to_string()));
+        return Err(WsqError::Storage(
+            "record shorter than null bitmap".to_string(),
+        ));
     }
     let (bitmap, mut rest) = bytes.split_at(bitmap_len);
     let mut values = Vec::with_capacity(n);

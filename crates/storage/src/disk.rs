@@ -117,17 +117,19 @@ impl MemStorage {
 
 impl Storage for MemStorage {
     fn read_page(&mut self, page: PageId, buf: &mut PageBuf) -> Result<()> {
-        let src = self.pages.get(page.0 as usize).ok_or_else(|| {
-            WsqError::Storage(format!("page {page} out of bounds (mem file)"))
-        })?;
+        let src = self
+            .pages
+            .get(page.0 as usize)
+            .ok_or_else(|| WsqError::Storage(format!("page {page} out of bounds (mem file)")))?;
         buf.copy_from_slice(&src[..]);
         Ok(())
     }
 
     fn write_page(&mut self, page: PageId, buf: &PageBuf) -> Result<()> {
-        let dst = self.pages.get_mut(page.0 as usize).ok_or_else(|| {
-            WsqError::Storage(format!("page {page} out of bounds (mem file)"))
-        })?;
+        let dst = self
+            .pages
+            .get_mut(page.0 as usize)
+            .ok_or_else(|| WsqError::Storage(format!("page {page} out of bounds (mem file)")))?;
         dst.copy_from_slice(&buf[..]);
         Ok(())
     }

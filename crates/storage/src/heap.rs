@@ -142,9 +142,9 @@ impl HeapFile {
     /// Fetch a record's bytes. Errors if the rid is dangling.
     pub fn get(&self, rid: Rid) -> Result<Vec<u8>> {
         self.check_data_page(rid.page)?;
-        let rec = self
-            .pool
-            .with_page(self.file, rid.page, |d| slotted::get(d, rid.slot).map(<[u8]>::to_vec))?;
+        let rec = self.pool.with_page(self.file, rid.page, |d| {
+            slotted::get(d, rid.slot).map(<[u8]>::to_vec)
+        })?;
         rec.ok_or_else(|| WsqError::Storage(format!("no record at {rid}")))
     }
 
@@ -355,7 +355,9 @@ mod tests {
         let mut sorted = seen.clone();
         sorted.sort_by_key(|(rid, _)| *rid);
         assert_eq!(seen, sorted);
-        assert!(seen.iter().all(|(rid, _)| *rid != rids[3] && *rid != rids[30]));
+        assert!(seen
+            .iter()
+            .all(|(rid, _)| *rid != rids[3] && *rid != rids[30]));
     }
 
     #[test]

@@ -206,7 +206,7 @@ pub fn compact(page: &mut [u8]) {
             (off != TOMBSTONE).then_some((i, off, len))
         })
         .collect();
-    live.sort_by(|a, b| b.1.cmp(&a.1));
+    live.sort_by_key(|entry| std::cmp::Reverse(entry.1));
 
     let mut dest = page.len();
     for (slot, off, len) in live {
@@ -222,8 +222,7 @@ pub fn compact(page: &mut [u8]) {
 pub fn iter(page: &[u8]) -> impl Iterator<Item = (SlotId, &[u8])> {
     (0..slot_count(page)).filter_map(move |i| {
         let (off, len) = slot_entry(page, i);
-        (off != TOMBSTONE)
-            .then(|| (SlotId(i), &page[off as usize..off as usize + len as usize]))
+        (off != TOMBSTONE).then(|| (SlotId(i), &page[off as usize..off as usize + len as usize]))
     })
 }
 
@@ -337,7 +336,11 @@ mod tests {
         // Grow beyond capacity fails cleanly.
         let huge = vec![5u8; PAGE_SIZE];
         assert!(update(&mut p, s, &huge).is_err());
-        assert_eq!(get(&p, s).unwrap(), &big[..], "failed update left data intact");
+        assert_eq!(
+            get(&p, s).unwrap(),
+            &big[..],
+            "failed update left data intact"
+        );
     }
 
     #[test]
@@ -356,8 +359,7 @@ mod tests {
         let b = insert(&mut p, b"b").unwrap();
         let c = insert(&mut p, b"c").unwrap();
         delete(&mut p, b);
-        let got: Vec<(SlotId, Vec<u8>)> =
-            iter(&p).map(|(s, r)| (s, r.to_vec())).collect();
+        let got: Vec<(SlotId, Vec<u8>)> = iter(&p).map(|(s, r)| (s, r.to_vec())).collect();
         assert_eq!(got, vec![(a, b"a".to_vec()), (c, b"c".to_vec())]);
     }
 

@@ -18,22 +18,17 @@ use wsq_storage::slotted;
 
 fn arb_value(dtype: DataType) -> BoxedStrategy<Value> {
     match dtype {
-        DataType::Int => prop_oneof![
-            Just(Value::Null),
-            any::<i64>().prop_map(Value::Int)
-        ]
-        .boxed(),
+        DataType::Int => prop_oneof![Just(Value::Null), any::<i64>().prop_map(Value::Int)].boxed(),
         DataType::Float => prop_oneof![
             Just(Value::Null),
-            any::<f64>().prop_filter("no NaN (Eq)", |f| !f.is_nan())
+            any::<f64>()
+                .prop_filter("no NaN (Eq)", |f| !f.is_nan())
                 .prop_map(Value::Float)
         ]
         .boxed(),
-        DataType::Varchar => prop_oneof![
-            Just(Value::Null),
-            ".{0,64}".prop_map(Value::from)
-        ]
-        .boxed(),
+        DataType::Varchar => {
+            prop_oneof![Just(Value::Null), ".{0,64}".prop_map(Value::from)].boxed()
+        }
     }
 }
 
@@ -54,8 +49,7 @@ fn arb_schema_and_tuple() -> impl Strategy<Value = (Schema, Tuple)> {
                 .map(|(i, dt)| Column::new(format!("c{i}"), *dt))
                 .collect(),
         );
-        let values: Vec<BoxedStrategy<Value>> =
-            dtypes.iter().map(|dt| arb_value(*dt)).collect();
+        let values: Vec<BoxedStrategy<Value>> = dtypes.iter().map(|dt| arb_value(*dt)).collect();
         (Just(schema), values).prop_map(|(s, v)| (s, Tuple::new(v)))
     })
 }

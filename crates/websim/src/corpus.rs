@@ -178,24 +178,27 @@ impl Corpus {
         let tail = config.four_corners_pages - dedicated;
         let mut fc_plan: Vec<&'static str> = Vec::with_capacity(config.four_corners_pages);
         let corner_counts = apportion(
-            &corner_states.iter().map(|(_, w)| *w as u64).collect::<Vec<_>>(),
+            &corner_states
+                .iter()
+                .map(|(_, w)| *w as u64)
+                .collect::<Vec<_>>(),
             dedicated as u64,
         );
         for ((name, _), &n) in corner_states.iter().zip(&corner_counts) {
-            fc_plan.extend(std::iter::repeat(*name).take(n as usize));
+            fc_plan.extend(std::iter::repeat_n(*name, n as usize));
         }
         let tail_counts = apportion(
-            &data::STATES.iter().map(|s| s.web_weight as u64).collect::<Vec<_>>(),
+            &data::STATES
+                .iter()
+                .map(|s| s.web_weight as u64)
+                .collect::<Vec<_>>(),
             tail as u64,
         );
         for (s, &n) in data::STATES.iter().zip(&tail_counts) {
-            fc_plan.extend(std::iter::repeat(s.name).take(n as usize));
+            fc_plan.extend(std::iter::repeat_n(s.name, n as usize));
         }
         for (i, state) in fc_plan.into_iter().enumerate() {
-            let state_toks: Vec<u32> = tokenize(state)
-                .iter()
-                .map(|w| symbols.intern(w))
-                .collect();
+            let state_toks: Vec<u32> = tokenize(state).iter().map(|w| symbols.intern(w)).collect();
             let mut terms = random_filler(&mut rng, &filler, 3..10);
             terms.extend_from_slice(&state_toks);
             terms.push(four);
@@ -211,10 +214,7 @@ impl Corpus {
 
         // "Knuth" cluster (Section 4.1 footnote): deterministic counts.
         for (sig, w) in data::SIG_KNUTH {
-            let sig_toks: Vec<u32> = tokenize(sig)
-                .iter()
-                .map(|t| symbols.intern(t))
-                .collect();
+            let sig_toks: Vec<u32> = tokenize(sig).iter().map(|t| symbols.intern(t)).collect();
             for i in 0..*w {
                 let mut terms = random_filler(&mut rng, &filler, 2..8);
                 terms.extend_from_slice(&sig_toks);
@@ -222,10 +222,7 @@ impl Corpus {
                 terms.extend(random_filler(&mut rng, &filler, 4..12));
                 pages.push(finish_page(
                     &mut rng,
-                    format!(
-                        "www.{}.example.org/knuth{i}.html",
-                        sig.to_ascii_lowercase()
-                    ),
+                    format!("www.{}.example.org/knuth{i}.html", sig.to_ascii_lowercase()),
                     terms,
                     0.0,
                 ));
@@ -242,12 +239,15 @@ impl Corpus {
             .chain(data::MOVIE_SCUBA.iter().map(|(n, w)| (*n, *w, false)))
             .collect();
         let scuba_counts = apportion(
-            &scuba_entities.iter().map(|(_, w, _)| *w as u64).collect::<Vec<_>>(),
+            &scuba_entities
+                .iter()
+                .map(|(_, w, _)| *w as u64)
+                .collect::<Vec<_>>(),
             config.scuba_pages as u64,
         );
         let mut scuba_plan: Vec<(&str, u32, bool)> = Vec::new();
         for (e, &n) in scuba_entities.iter().zip(&scuba_counts) {
-            scuba_plan.extend(std::iter::repeat(*e).take(n as usize));
+            scuba_plan.extend(std::iter::repeat_n(*e, n as usize));
         }
         for (i, chosen) in scuba_plan.into_iter().enumerate() {
             let mut terms = random_filler(&mut rng, &filler, 2..8);
@@ -368,7 +368,9 @@ fn apportion(weights: &[u64], total: u64) -> Vec<u64> {
 
 fn random_filler(rng: &mut StdRng, filler: &[u32], range: std::ops::Range<usize>) -> Vec<u32> {
     let n = rng.gen_range(range);
-    (0..n).map(|_| filler[rng.gen_range(0..filler.len())]).collect()
+    (0..n)
+        .map(|_| filler[rng.gen_range(0..filler.len())])
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -506,7 +508,10 @@ mod tests {
             cfg.pages
                 + cfg.four_corners_pages
                 + cfg.scuba_pages
-                + data::SIG_KNUTH.iter().map(|(_, w)| *w as usize).sum::<usize>()
+                + data::SIG_KNUTH
+                    .iter()
+                    .map(|(_, w)| *w as usize)
+                    .sum::<usize>()
         );
     }
 

@@ -212,24 +212,118 @@ pub const STATE_SCUBA: &[(&str, u32)] = &[
 /// Topic constants — the pool Template 1/2 instantiate `V1`/`V2` from
 /// (Section 5: "computer", "beaches", "crime", "politics", "frogs", …).
 pub const TOPICS: &[&str] = &[
-    "computer", "beaches", "crime", "politics", "frogs", "lakes", "football",
-    "taxes", "hiking", "weather", "music", "history", "wine", "desert",
-    "gold", "oil", "fishing", "skiing", "casinos", "universities",
+    "computer",
+    "beaches",
+    "crime",
+    "politics",
+    "frogs",
+    "lakes",
+    "football",
+    "taxes",
+    "hiking",
+    "weather",
+    "music",
+    "history",
+    "wine",
+    "desert",
+    "gold",
+    "oil",
+    "fishing",
+    "skiing",
+    "casinos",
+    "universities",
 ];
 
 /// Filler vocabulary for synthetic page text.
 pub const FILLER: &[&str] = &[
-    "the", "a", "of", "and", "to", "in", "for", "is", "on", "that", "with",
-    "as", "was", "at", "by", "this", "from", "are", "or", "an", "be", "it",
-    "page", "home", "site", "web", "information", "welcome", "news", "links",
-    "about", "contact", "guide", "travel", "visit", "official", "online",
-    "service", "city", "county", "park", "river", "mountain", "school",
-    "library", "museum", "hotel", "restaurant", "map", "photo", "gallery",
-    "events", "calendar", "business", "government", "department", "office",
-    "center", "community", "local", "national", "report", "review", "year",
-    "new", "best", "great", "area", "north", "south", "east", "west",
-    "people", "family", "house", "land", "water", "road", "trail", "club",
-    "team", "game", "season", "festival", "fair", "market", "store", "shop",
+    "the",
+    "a",
+    "of",
+    "and",
+    "to",
+    "in",
+    "for",
+    "is",
+    "on",
+    "that",
+    "with",
+    "as",
+    "was",
+    "at",
+    "by",
+    "this",
+    "from",
+    "are",
+    "or",
+    "an",
+    "be",
+    "it",
+    "page",
+    "home",
+    "site",
+    "web",
+    "information",
+    "welcome",
+    "news",
+    "links",
+    "about",
+    "contact",
+    "guide",
+    "travel",
+    "visit",
+    "official",
+    "online",
+    "service",
+    "city",
+    "county",
+    "park",
+    "river",
+    "mountain",
+    "school",
+    "library",
+    "museum",
+    "hotel",
+    "restaurant",
+    "map",
+    "photo",
+    "gallery",
+    "events",
+    "calendar",
+    "business",
+    "government",
+    "department",
+    "office",
+    "center",
+    "community",
+    "local",
+    "national",
+    "report",
+    "review",
+    "year",
+    "new",
+    "best",
+    "great",
+    "area",
+    "north",
+    "south",
+    "east",
+    "west",
+    "people",
+    "family",
+    "house",
+    "land",
+    "water",
+    "road",
+    "trail",
+    "club",
+    "team",
+    "game",
+    "season",
+    "festival",
+    "fair",
+    "market",
+    "store",
+    "shop",
 ];
 
 #[cfg(test)]
@@ -283,7 +377,12 @@ mod tests {
         };
         let top5 = ["Alaska", "Washington", "Delaware", "Hawaii", "Wyoming"];
         for pair in top5.windows(2) {
-            assert!(ratio(pair[0]) > ratio(pair[1]), "{} <= {}", pair[0], pair[1]);
+            assert!(
+                ratio(pair[0]) > ratio(pair[1]),
+                "{} <= {}",
+                pair[0],
+                pair[1]
+            );
         }
         let fifth = ratio("Wyoming");
         for s in STATES {
@@ -301,7 +400,9 @@ mod tests {
             .filter(|s| s.capital_weight > s.web_weight)
             .map(|s| s.capital)
             .collect();
-        let mut expected = vec!["Atlanta", "Lincoln", "Boston", "Jackson", "Pierre", "Columbia"];
+        let mut expected = vec![
+            "Atlanta", "Lincoln", "Boston", "Jackson", "Pierre", "Columbia",
+        ];
         let mut got = winners.clone();
         expected.sort_unstable();
         got.sort_unstable();

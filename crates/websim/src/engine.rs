@@ -115,7 +115,7 @@ impl SearchService for SimEngine {
         let result = match &req.kind {
             RequestKind::Count => SearchResult::Count(self.count(&req.expr)),
             RequestKind::Pages { max_rank } => {
-                SearchResult::Pages(self.search(&req.expr, *max_rank))
+                SearchResult::pages_from(self.search(&req.expr, *max_rank))
             }
         };
         ServiceReply {
@@ -168,7 +168,14 @@ mod tests {
         let go = SimEngine::new(c, EngineKind::Google, LatencyModel::Zero);
         let mut agreements = 0;
         let mut disagreements = 0;
-        for state in ["California", "Texas", "Florida", "Ohio", "Georgia", "Nevada"] {
+        for state in [
+            "California",
+            "Texas",
+            "Florida",
+            "Ohio",
+            "Georgia",
+            "Nevada",
+        ] {
             let a: std::collections::HashSet<String> =
                 av.search(state, 5).into_iter().map(|h| h.url).collect();
             let g: std::collections::HashSet<String> =
@@ -200,7 +207,9 @@ mod tests {
     fn knuth_ordering_matches_paper_footnote() {
         let c = corpus();
         let av = SimEngine::new(c, EngineKind::AltaVista, LatencyModel::Zero);
-        let ordered = ["SIGACT", "SIGPLAN", "SIGGRAPH", "SIGMOD", "SIGCOMM", "SIGSAM"];
+        let ordered = [
+            "SIGACT", "SIGPLAN", "SIGGRAPH", "SIGMOD", "SIGCOMM", "SIGSAM",
+        ];
         let counts: Vec<u64> = ordered
             .iter()
             .map(|s| av.count(&format!("{s} near Knuth")))

@@ -108,11 +108,7 @@ impl SearchService for RetryService {
                 req.clone()
             } else {
                 SearchRequest {
-                    expr: format!(
-                        "{}{}",
-                        req.expr,
-                        "\u{200b}".repeat(attempt as usize)
-                    ),
+                    expr: format!("{}{}", req.expr, "\u{200b}".repeat(attempt as usize)),
                     ..req.clone()
                 }
             };
@@ -166,11 +162,14 @@ mod tests {
             assert_eq!(flaky.would_fail(&req(&format!("q{i}"))), o);
         }
         let failures = outcomes.iter().filter(|&&b| b).count();
-        assert!((100..=200).contains(&failures), "~30% of 500, got {failures}");
+        assert!(
+            (100..=200).contains(&failures),
+            "~30% of 500, got {failures}"
+        );
         // Execute matches the oracle.
-        for i in 0..50 {
+        for (i, &expect_err) in outcomes.iter().enumerate().take(50) {
             let r = flaky.execute(&req(&format!("q{i}")));
-            assert_eq!(r.result.is_err(), outcomes[i]);
+            assert_eq!(r.result.is_err(), expect_err);
         }
     }
 

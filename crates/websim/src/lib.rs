@@ -26,7 +26,7 @@ pub mod latency;
 pub mod search;
 pub mod symbols;
 
-pub use cache::{CacheStats, CachedService};
+pub use cache::{CacheConfig, CacheStats, CachedService};
 pub use corpus::{Corpus, CorpusConfig, Page};
 pub use engine::{EngineKind, SimEngine};
 pub use flaky::{FlakyService, FlakyStats, RetryService};

@@ -153,9 +153,9 @@ pub fn evaluate(corpus: &Corpus, query: &WebQuery) -> Vec<PageMatch> {
             for pair in occ.windows(2) {
                 let a = &pair[0][&page];
                 let b = &pair[1][&page];
-                let close = a.iter().any(|&pa| {
-                    b.iter().any(|&pb| (pa as i64 - pb as i64).abs() <= w)
-                });
+                let close = a
+                    .iter()
+                    .any(|&pa| b.iter().any(|&pb| (pa as i64 - pb as i64).abs() <= w));
                 if !close {
                     continue 'pages;
                 }
@@ -232,7 +232,10 @@ mod tests {
         assert_eq!(q.connective, Connective::Near);
         assert_eq!(
             q.phrases,
-            vec![vec!["colorado".to_string()], vec!["four".into(), "corners".into()]]
+            vec![
+                vec!["colorado".to_string()],
+                vec!["four".into(), "corners".into()]
+            ]
         );
 
         let q = parse_query("\"new mexico\" computer", true);

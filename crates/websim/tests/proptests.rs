@@ -3,10 +3,10 @@
 //! random queries.
 
 use proptest::prelude::*;
+use std::collections::HashMap;
 use wsq_websim::corpus::{Corpus, Page, Posting};
 use wsq_websim::search::{evaluate, Connective, WebQuery};
 use wsq_websim::symbols::SymbolTable;
-use std::collections::HashMap;
 
 /// Small vocabulary so collisions and co-occurrence are common.
 const WORDS: &[&str] = &["alpha", "beta", "gamma", "delta", "echo", "fox"];

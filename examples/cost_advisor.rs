@@ -12,8 +12,10 @@ use wsqdsq::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let latency_ms = 20u64;
-    let mut config = WsqConfig::default();
-    config.latency = LatencyModel::Fixed(Duration::from_millis(latency_ms));
+    let config = WsqConfig {
+        latency: LatencyModel::Fixed(Duration::from_millis(latency_ms)),
+        ..WsqConfig::default()
+    };
     let mut wsq = Wsq::open_in_memory(config)?;
     wsq.load_reference_data()?;
 
@@ -46,12 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "query", "est sync", "sync", "est async", "async"
     );
     for (label, sql) in queries {
-        let est = wsq.db().estimate_query(
-            sql,
-            wsq.engines(),
-            QueryOptions::default(),
-            &params,
-        )?;
+        let est = wsq
+            .db()
+            .estimate_query(sql, wsq.engines(), QueryOptions::default(), &params)?;
         let t0 = Instant::now();
         wsq.query_with(
             sql,
@@ -70,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "{:<62}(calls={:.0}, waves={}, predicted improvement {:.1}x)",
-            "", est.external_calls, est.waves, est.improvement()
+            "",
+            est.external_calls,
+            est.waves,
+            est.improvement()
         );
     }
     Ok(())

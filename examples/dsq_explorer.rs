@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let pairs = dsq.correlate_pairs(phrase, &states, &movies, 3)?;
-    println!("\nState/movie/{phrase:?} triples (the paper's 'underwater thriller filmed in Florida'):");
+    println!(
+        "\nState/movie/{phrase:?} triples (the paper's 'underwater thriller filmed in Florida'):"
+    );
     for p in pairs.iter().take(5) {
         println!("  {:<12} × {:<14} {}", p.a, p.b, p.count);
     }

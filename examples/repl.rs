@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "WSQ/DSQ shell — tables: States, Sigs, CSFields, Movies; \
          virtual: WebCount[_AV|_Google], WebPages[_AV|_Google]"
     );
-    println!("Try: SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC LIMIT 5");
+    println!(
+        "Try: SELECT Name, Count FROM States, WebCount WHERE Name = T1 ORDER BY Count DESC LIMIT 5"
+    );
 
     let stdin = io::stdin();
     let mut out = io::stdout();

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Top 3 URLs per Sig (Figure 4 plan)\n{sql}\n");
     println!("{}", wsq.explain(sql)?);
     let result = wsq.query(sql)?;
-    println!("{} result rows (paper: 111 for 37 Sigs × 3)\n", result.rows.len());
+    println!(
+        "{} result rows (paper: 111 for 37 Sigs × 3)\n",
+        result.rows.len()
+    );
 
     // --- §4.5 Example 3 / Figure 8: URLs in the top 5 of both a Sig and a
     // CS field. The join on URL reads placeholder attributes, so the

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..64 {
         inserts.push(format!("('www.site{i}.example.com/index.html')"));
     }
-    wsq.execute(&format!("INSERT INTO Frontier VALUES {}", inserts.join(", ")))?;
+    wsq.execute(&format!(
+        "INSERT INTO Frontier VALUES {}",
+        inserts.join(", ")
+    ))?;
 
     let sql = "SELECT Url, Count AS Links FROM Frontier, WebCount_Fetcher \
                WHERE Url = T1 ORDER BY Links DESC, Url LIMIT 10";

@@ -1,0 +1,234 @@
+//! Minimal `criterion` stand-in for offline builds.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! warmup-then-sample timing loop. Results print as
+//! `name ... time: [median mean p95]` lines; there is no HTML report,
+//! statistical regression testing, or plotting.
+//!
+//! Environment knobs:
+//! * `WSQ_BENCH_SAMPLE_MS` — per-benchmark measurement budget in
+//!   milliseconds (default 300).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark.
+fn sample_budget() -> Duration {
+    std::env::var("WSQ_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(300))
+}
+
+/// Identifies one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the sample budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that takes ~1ms.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_nanos() as u64 / calib_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let budget = sample_budget();
+        let run_start = Instant::now();
+        while run_start.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} time: [no samples]");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<50} time: [median {median:?}  mean {mean:?}  p95 {p95:?}]  samples: {}",
+            sorted.len()
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored (sampling is time-budgeted in the shim); kept for API parity.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, |b| f(b));
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    b.report(name);
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Begin a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, |b| f(b));
+        self
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        std::env::set_var("WSQ_BENCH_SAMPLE_MS", "30");
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("WSQ_BENCH_SAMPLE_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("p", 3), &3, |b, &n| b.iter(|| n * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,27 @@
+//! Collection strategies (subset: `vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with length drawn from a range.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty vec size range");
+        let span = (self.size.end - self.size.start) as u64;
+        let n = self.size.start + rng.below(span) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(elem, len_range)`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}

@@ -29,5 +29,5 @@ pub mod prelude {
         StatementResult, Wsq, WsqConfig,
     };
     pub use wsq_pump::{PumpConfig, ReqPump};
-    pub use wsq_websim::{CorpusConfig, EngineKind, LatencyModel, SimWeb};
+    pub use wsq_websim::{CacheConfig, CacheStats, CorpusConfig, EngineKind, LatencyModel, SimWeb};
 }

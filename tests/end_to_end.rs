@@ -37,17 +37,23 @@ fn disk_backed_wsq_persists_tables() {
     let dir = tempfile::tempdir().unwrap();
     {
         let mut w = Wsq::open(dir.path(), WsqConfig::fast()).unwrap();
-        w.execute("CREATE TABLE Trips (Place VARCHAR(32), Year INT)").unwrap();
-        w.execute("INSERT INTO Trips VALUES ('Moab', 1998), ('Tahoe', 1999)").unwrap();
+        w.execute("CREATE TABLE Trips (Place VARCHAR(32), Year INT)")
+            .unwrap();
+        w.execute("INSERT INTO Trips VALUES ('Moab', 1998), ('Tahoe', 1999)")
+            .unwrap();
         w.db().flush().unwrap();
     }
     let mut w = Wsq::open(dir.path(), WsqConfig::fast()).unwrap();
-    let r = w.query("SELECT Place FROM Trips WHERE Year = 1999").unwrap();
+    let r = w
+        .query("SELECT Place FROM Trips WHERE Year = 1999")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].get(0).as_str().unwrap(), "Tahoe");
     // And the virtual tables still work against the stored data.
     let r = w
-        .query("SELECT Place, Count FROM Trips, WebCount WHERE Place = T1 ORDER BY Count DESC, Place")
+        .query(
+            "SELECT Place, Count FROM Trips, WebCount WHERE Place = T1 ORDER BY Count DESC, Place",
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 2);
 }
@@ -56,8 +62,10 @@ fn disk_backed_wsq_persists_tables() {
 fn user_tables_join_reference_tables_and_web() {
     let mut w = wsq();
     // A user table of visited states joined against States + the Web.
-    w.execute("CREATE TABLE Visited (StateName VARCHAR(32))").unwrap();
-    w.execute("INSERT INTO Visited VALUES ('Colorado'), ('Utah'), ('Maine')").unwrap();
+    w.execute("CREATE TABLE Visited (StateName VARCHAR(32))")
+        .unwrap();
+    w.execute("INSERT INTO Visited VALUES ('Colorado'), ('Utah'), ('Maine')")
+        .unwrap();
     let r = w
         .query(
             "SELECT StateName, Population, Count \

@@ -11,10 +11,10 @@
 
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
-use wsqdsq::prelude::*;
 use wsqdsq::engine::db::Database;
 use wsqdsq::engine::engines::EngineRegistry;
 use wsqdsq::engine::QueryOptions as EngineOpts;
+use wsqdsq::prelude::*;
 
 /// One shared corpus for the whole test binary (generation is the
 /// expensive part; databases and pumps are cheap per-case).
@@ -74,7 +74,14 @@ struct GenQuery {
 }
 
 fn topics() -> Vec<&'static str> {
-    vec!["computer", "beaches", "four corners", "skiing", "Knuth", "zzznope"]
+    vec![
+        "computer",
+        "beaches",
+        "four corners",
+        "skiing",
+        "Knuth",
+        "zzznope",
+    ]
 }
 
 fn arb_query() -> impl Strategy<Value = GenQuery> {

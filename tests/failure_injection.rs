@@ -53,9 +53,7 @@ fn flaky_engine_fails_queries_cleanly_in_all_modes() {
     }
     assert!(flaky.stats().failures >= 3);
     // The instance still answers healthy queries.
-    let r = wsq
-        .query("SELECT COUNT(*) FROM States")
-        .unwrap();
+    let r = wsq.query("SELECT COUNT(*) FROM States").unwrap();
     assert_eq!(r.rows[0].get(0).as_int().unwrap(), 50);
     // And the healthy default engine still works.
     let r = wsq
