@@ -1,0 +1,429 @@
+//! Placeholder-dataflow verification of physical plans.
+//!
+//! The asyncification pass (`wsq_engine::asyncify`) enforces the paper's
+//! clash rules (§4.5.2) *by construction*; this module checks them on the
+//! **emitted plan**, independently, as a bottom-up abstract interpretation.
+//!
+//! The abstract domain is the *may-be-placeholder set*: for each operator,
+//! the set of output attributes that may still hold `Value::Pending`
+//! placeholders when a tuple leaves it. The transfer functions are:
+//!
+//! - `AEVScan`: its external attributes (`Count`, or `URL`/`Rank`/`Date`).
+//! - `ReqSync{attrs}`: input set minus `attrs` (the operator patches the
+//!   calls backing those attributes before emitting).
+//! - `Project`: placeholder attributes must pass through as plain column
+//!   items (renamed to the item's output name); computing over one is
+//!   clash case 1, dropping one is clash case 2.
+//! - Joins: union of the input sets.
+//! - Everything else: identity.
+//!
+//! The clash checks performed against the incoming set:
+//!
+//! 1. `Filter` / `NestedLoopJoin` predicates and computed `Project` items
+//!    must not read a may-be-placeholder attribute (clash case 1).
+//! 2. `Project` must not drop one without a dominating `ReqSync` below
+//!    (clash case 2).
+//! 3. `Sort` / `Aggregate` / `Distinct` / `Limit` require an empty
+//!    incoming set (clash case 3 and its ordering analogue).
+//! 4. Dependent-join bindings must not read a may-be-placeholder
+//!    attribute of the outer side (percolation's flush rule).
+//!
+//! Structural rules: the set must be empty at the root (every `AEVScan`
+//! dominated by a covering `ReqSync`), and consolidation must have left
+//! no directly-adjacent `ReqSync` pair. [`verify_async`] additionally
+//! rejects synchronous `EVScan`s, which `asyncify` must have rewritten.
+//!
+//! Column matching deliberately mirrors `asyncify`'s own semantics
+//! (case-insensitive; an unqualified reference may denote a qualified
+//! attribute), so the verifier is exactly as conservative as the
+//! transformation it checks.
+
+use std::fmt;
+use wsq_engine::plan::{EvBinding, EvSpec, PhysPlan};
+use wsq_sql::ast::{ColumnRef, Expr};
+
+/// Which rule a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Clash case 1: a predicate or computed expression reads an
+    /// attribute that may be a placeholder.
+    ReadsPlaceholder,
+    /// Clash case 2: a projection drops a may-be-placeholder attribute
+    /// with no dominating ReqSync below it.
+    DropsPlaceholder,
+    /// Clash case 3 (and ordering analogue): Sort/Aggregate/Distinct/
+    /// Limit above an unpatched placeholder.
+    OrderSensitive,
+    /// A dependent-join binding reads a may-be-placeholder attribute of
+    /// its outer side.
+    BindingReadsPlaceholder,
+    /// Placeholders escape the plan root: some AEVScan has no covering
+    /// ReqSync above it.
+    UncoveredAtRoot,
+    /// Consolidation failure: a ReqSync directly above another ReqSync.
+    AdjacentReqSync,
+    /// A synchronous EVScan survived in an asynchronous plan.
+    SyncScanInAsyncPlan,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::ReadsPlaceholder => "reads-placeholder (clash case 1)",
+            Rule::DropsPlaceholder => "drops-placeholder (clash case 2)",
+            Rule::OrderSensitive => "order-sensitive-over-placeholder (clash case 3)",
+            Rule::BindingReadsPlaceholder => "binding-reads-placeholder",
+            Rule::UncoveredAtRoot => "uncovered-at-root",
+            Rule::AdjacentReqSync => "adjacent-reqsync (consolidation)",
+            Rule::SyncScanInAsyncPlan => "sync-scan-in-async-plan",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One rule violation, with the path of operators from the root to the
+/// offending node.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The broken rule.
+    pub rule: Rule,
+    /// Root-to-node operator path, e.g. `root/Sort/ReqSync`.
+    pub path: String,
+    /// Human-readable specifics (offending attributes, expressions).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.rule, self.path, self.detail)
+    }
+}
+
+/// Verification failure: every violation found in one pass.
+#[derive(Debug, Clone)]
+pub struct VerifyError {
+    /// All violations, in traversal order.
+    pub violations: Vec<Violation>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan fails placeholder-dataflow verification:")?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Statistics from a successful verification (surfaced by
+/// `Wsq::explain_verify`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Report {
+    /// Plan nodes visited.
+    pub nodes: usize,
+    /// Asynchronous external scans found.
+    pub aev_scans: usize,
+    /// ReqSync operators found.
+    pub req_syncs: usize,
+    /// Largest may-be-placeholder set at any operator (lattice height
+    /// actually reached).
+    pub max_placeholder_set: usize,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verified {} nodes: {} async scan(s), {} ReqSync(s), max placeholder set {}",
+            self.nodes, self.aev_scans, self.req_syncs, self.max_placeholder_set
+        )
+    }
+}
+
+/// Verify a plan that may legitimately contain synchronous `EVScan`s
+/// (e.g. `ExecutionMode::Synchronous` output).
+pub fn verify(plan: &PhysPlan) -> Result<Report, VerifyError> {
+    verify_inner(plan, false)
+}
+
+/// Verify the output of `asyncify`: everything [`verify`] checks, plus
+/// no synchronous `EVScan` may remain.
+pub fn verify_async(plan: &PhysPlan) -> Result<Report, VerifyError> {
+    verify_inner(plan, true)
+}
+
+fn verify_inner(plan: &PhysPlan, forbid_ev: bool) -> Result<Report, VerifyError> {
+    let mut cx = Cx {
+        forbid_ev,
+        violations: Vec::new(),
+        report: Report::default(),
+    };
+    let escaped = cx.abs(plan, "root");
+    if !escaped.is_empty() {
+        cx.violations.push(Violation {
+            rule: Rule::UncoveredAtRoot,
+            path: "root".to_string(),
+            detail: format!(
+                "placeholder attributes escape the plan: {}",
+                fmt_attrs(&escaped)
+            ),
+        });
+    }
+    if cx.violations.is_empty() {
+        Ok(cx.report)
+    } else {
+        Err(VerifyError {
+            violations: cx.violations,
+        })
+    }
+}
+
+/// Case-insensitive column-reference equality, mirroring `asyncify`: an
+/// unqualified reference may denote a qualified attribute.
+pub(crate) fn same_ref(a: &ColumnRef, b: &ColumnRef) -> bool {
+    if !a.name.eq_ignore_ascii_case(&b.name) {
+        return false;
+    }
+    match (&a.qualifier, &b.qualifier) {
+        (Some(x), Some(y)) => x.eq_ignore_ascii_case(y),
+        _ => true,
+    }
+}
+
+pub(crate) fn refs_any(expr: &Expr, attrs: &[ColumnRef]) -> bool {
+    expr.columns()
+        .iter()
+        .any(|c| attrs.iter().any(|a| same_ref(c, a)))
+}
+
+fn fmt_attrs(attrs: &[ColumnRef]) -> String {
+    attrs
+        .iter()
+        .map(|a| match &a.qualifier {
+            Some(q) => format!("{q}.{}", a.name),
+            None => a.name.clone(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The binding spec reachable through the right side of a dependent join
+/// (possibly wrapped in Filter/ReqSync), mirroring `asyncify`.
+fn spec_of(plan: &PhysPlan) -> Option<&EvSpec> {
+    match plan {
+        PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => Some(s),
+        PhysPlan::Filter { input, .. } | PhysPlan::ReqSync { input, .. } => spec_of(input),
+        _ => None,
+    }
+}
+
+struct Cx {
+    forbid_ev: bool,
+    violations: Vec<Violation>,
+    report: Report,
+}
+
+impl Cx {
+    fn push(&mut self, rule: Rule, path: &str, detail: String) {
+        self.violations.push(Violation {
+            rule,
+            path: path.to_string(),
+            detail,
+        });
+    }
+
+    fn check_bindings(&mut self, spec: &EvSpec, outer: &[ColumnRef], path: &str) {
+        for b in &spec.bindings {
+            if let EvBinding::Column(c) = b {
+                if outer.iter().any(|a| same_ref(c, a)) {
+                    self.push(
+                        Rule::BindingReadsPlaceholder,
+                        path,
+                        format!(
+                            "binding of virtual table '{}' reads may-be-placeholder \
+                             attribute {} of the outer side",
+                            spec.alias,
+                            fmt_attrs(std::slice::from_ref(c)),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The transfer function: may-be-placeholder attribute set of the
+    /// operator's output, recording violations along the way.
+    fn abs(&mut self, plan: &PhysPlan, path: &str) -> Vec<ColumnRef> {
+        self.report.nodes += 1;
+        let set = match plan {
+            PhysPlan::SeqScan { .. } | PhysPlan::IndexScan { .. } | PhysPlan::Values { .. } => {
+                vec![]
+            }
+            PhysPlan::EVScan(_) => {
+                if self.forbid_ev {
+                    self.push(
+                        Rule::SyncScanInAsyncPlan,
+                        path,
+                        "synchronous EVScan in an asynchronous plan (asyncify must \
+                         rewrite every EVScan to AEVScan)"
+                            .to_string(),
+                    );
+                }
+                // A synchronous scan materializes real values.
+                vec![]
+            }
+            PhysPlan::AEVScan(spec) => {
+                self.report.aev_scans += 1;
+                spec.external_attrs()
+            }
+            PhysPlan::ReqSync { input, attrs, .. } => {
+                self.report.req_syncs += 1;
+                if matches!(**input, PhysPlan::ReqSync { .. }) {
+                    self.push(
+                        Rule::AdjacentReqSync,
+                        path,
+                        "ReqSync directly above another ReqSync (consolidation should \
+                         have merged their attribute sets)"
+                            .to_string(),
+                    );
+                }
+                let inner = self.abs(input, &format!("{path}/ReqSync"));
+                inner
+                    .into_iter()
+                    .filter(|a| !attrs.iter().any(|s| same_ref(a, s)))
+                    .collect()
+            }
+            PhysPlan::Filter { input, predicate } => {
+                let inner = self.abs(input, &format!("{path}/Filter"));
+                if refs_any(predicate, &inner) {
+                    self.push(
+                        Rule::ReadsPlaceholder,
+                        path,
+                        format!(
+                            "filter predicate reads may-be-placeholder attribute(s) {}",
+                            fmt_attrs(&inner)
+                        ),
+                    );
+                }
+                inner
+            }
+            PhysPlan::Project { input, items, .. } => {
+                let inner = self.abs(input, &format!("{path}/Project"));
+                let mut out = Vec::new();
+                for a in &inner {
+                    // Clash case 1: an item computes over the attribute.
+                    let computed = items.iter().any(|(e, _)| {
+                        !matches!(e, Expr::Column(_)) && refs_any(e, std::slice::from_ref(a))
+                    });
+                    if computed {
+                        self.push(
+                            Rule::ReadsPlaceholder,
+                            path,
+                            format!(
+                                "projection computes over may-be-placeholder attribute {}",
+                                fmt_attrs(std::slice::from_ref(a))
+                            ),
+                        );
+                        continue;
+                    }
+                    // Pass-through: the attribute flows on under the
+                    // item's output name (mirroring asyncify's rename;
+                    // first match, as the transformation renames).
+                    match items
+                        .iter()
+                        .find(|(e, _)| matches!(e, Expr::Column(c) if same_ref(c, a)))
+                    {
+                        Some((_, name)) => out.push(ColumnRef {
+                            qualifier: None,
+                            name: name.clone(),
+                        }),
+                        None => self.push(
+                            Rule::DropsPlaceholder,
+                            path,
+                            format!(
+                                "projection drops may-be-placeholder attribute {} with \
+                                 no dominating ReqSync below",
+                                fmt_attrs(std::slice::from_ref(a))
+                            ),
+                        ),
+                    }
+                }
+                out
+            }
+            PhysPlan::DependentJoin { left, right } => {
+                let l = self.abs(left, &format!("{path}/DependentJoin.left"));
+                let r = self.abs(right, &format!("{path}/DependentJoin.right"));
+                if let Some(spec) = spec_of(right) {
+                    self.check_bindings(spec, &l, path);
+                }
+                let mut out = l;
+                out.extend(r);
+                out
+            }
+            PhysPlan::ParallelDependentJoin { left, spec, .. } => {
+                // The parallel join performs and completes its external
+                // calls internally: only the outer side's set flows on.
+                let l = self.abs(left, &format!("{path}/ParallelDependentJoin.left"));
+                self.check_bindings(spec, &l, path);
+                l
+            }
+            PhysPlan::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                let l = self.abs(left, &format!("{path}/NestedLoopJoin.left"));
+                let r = self.abs(right, &format!("{path}/NestedLoopJoin.right"));
+                let mut out = l;
+                out.extend(r);
+                if refs_any(predicate, &out) {
+                    self.push(
+                        Rule::ReadsPlaceholder,
+                        path,
+                        format!(
+                            "join predicate reads may-be-placeholder attribute(s) {}",
+                            fmt_attrs(&out)
+                        ),
+                    );
+                }
+                out
+            }
+            PhysPlan::CrossProduct { left, right } => {
+                let mut out = self.abs(left, &format!("{path}/CrossProduct.left"));
+                out.extend(self.abs(right, &format!("{path}/CrossProduct.right")));
+                out
+            }
+            PhysPlan::Sort { input, .. }
+            | PhysPlan::Aggregate { input, .. }
+            | PhysPlan::Distinct { input }
+            | PhysPlan::Limit { input, .. } => {
+                let name = match plan {
+                    PhysPlan::Sort { .. } => "Sort",
+                    PhysPlan::Aggregate { .. } => "Aggregate",
+                    PhysPlan::Distinct { .. } => "Distinct",
+                    _ => "Limit",
+                };
+                let inner = self.abs(input, &format!("{path}/{name}"));
+                if !inner.is_empty() {
+                    self.push(
+                        Rule::OrderSensitive,
+                        path,
+                        format!(
+                            "{name} above unpatched placeholder attribute(s) {}",
+                            fmt_attrs(&inner)
+                        ),
+                    );
+                    // The operator would block on / misorder placeholders;
+                    // report once and treat them as consumed.
+                    return vec![];
+                }
+                inner
+            }
+        };
+        self.report.max_placeholder_set = self.report.max_placeholder_set.max(set.len());
+        set
+    }
+}

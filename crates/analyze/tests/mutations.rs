@@ -1,0 +1,218 @@
+//! Mutation harness: proves the placeholder-dataflow verifier has teeth.
+//!
+//! Strategy: build a family of representative plans, run them through the
+//! real `asyncify` transformation, and check the verifier accepts every
+//! emitted plan. Then corrupt each verified plan with every applicable
+//! [`Mutation`] (one corruption class per verifier rule) and assert the
+//! verifier rejects **every** corrupted plan — and that each class
+//! triggers the specific rule it was designed to break at least once.
+
+use wsq_analyze::{apply_mutation, verify_async, Mutation, Rule, ALL_MUTATIONS};
+use wsq_common::{Column, DataType, Schema};
+use wsq_engine::asyncify;
+use wsq_engine::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, VTableKind};
+use wsq_sql::ast::{BinOp, ColumnRef, Expr, Literal};
+
+fn states_scan() -> PhysPlan {
+    PhysPlan::SeqScan {
+        table: "States".to_string(),
+        alias: "States".to_string(),
+        schema: Schema::new(vec![
+            Column::qualified("States", "Name", DataType::Varchar),
+            Column::qualified("States", "Population", DataType::Int),
+        ]),
+    }
+}
+
+fn spec(alias: &str, kind: VTableKind) -> EvSpec {
+    EvSpec {
+        kind,
+        engine: "AV".into(),
+        alias: alias.to_string(),
+        template: None,
+        bindings: vec![EvBinding::Column(ColumnRef {
+            qualifier: Some("States".into()),
+            name: "Name".into(),
+        })],
+        rank_limit: 3,
+        supports_near: true,
+    }
+}
+
+fn dj(left: PhysPlan, spec: EvSpec) -> PhysPlan {
+    PhysPlan::DependentJoin {
+        left: Box::new(left),
+        right: Box::new(PhysPlan::EVScan(spec)),
+    }
+}
+
+fn col(qualifier: &str, name: &str) -> Expr {
+    Expr::Column(ColumnRef {
+        qualifier: Some(qualifier.to_string()),
+        name: name.to_string(),
+    })
+}
+
+/// The base plan family: (name, logical plan). Shapes chosen so that
+/// every corruption class has at least one applicable site after
+/// asyncification.
+fn bases() -> Vec<(&'static str, PhysPlan)> {
+    let simple = dj(states_scan(), spec("V1", VTableKind::WebCount));
+    let pages = dj(states_scan(), spec("V1", VTableKind::WebPages));
+    let carried = PhysPlan::Filter {
+        predicate: Expr::binary(
+            BinOp::NotEq,
+            col("V1", "Count"),
+            Expr::Literal(Literal::Int(0)),
+        ),
+        input: Box::new(dj(states_scan(), spec("V1", VTableKind::WebCount))),
+    };
+    let sorted = PhysPlan::Sort {
+        keys: vec![(col("States", "Name"), true)],
+        input: Box::new(dj(states_scan(), spec("V1", VTableKind::WebCount))),
+    };
+    let nested = dj(
+        dj(states_scan(), spec("V1", VTableKind::WebCount)),
+        spec("V2", VTableKind::WebCount),
+    );
+    let projected = PhysPlan::Project {
+        items: vec![
+            (col("States", "Name"), "Name".to_string()),
+            (col("V1", "Count"), "Count".to_string()),
+        ],
+        schema: Schema::new(vec![
+            Column::new("Name", DataType::Varchar),
+            Column::new("Count", DataType::Int),
+        ]),
+        input: Box::new(dj(states_scan(), spec("V1", VTableKind::WebCount))),
+    };
+    vec![
+        ("simple", simple),
+        ("pages", pages),
+        ("carried-filter", carried),
+        ("sorted", sorted),
+        ("nested", nested),
+        ("projected", projected),
+    ]
+}
+
+/// The rule each corruption class is designed to trip. A corrupted plan
+/// may violate additional rules, but across the base family each class
+/// must trigger its own rule at least once.
+fn expected_rule(m: Mutation) -> Rule {
+    match m {
+        Mutation::DropReqSync => Rule::UncoveredAtRoot,
+        Mutation::StripSyncAttr => Rule::UncoveredAtRoot,
+        Mutation::DuplicateReqSync => Rule::AdjacentReqSync,
+        Mutation::SinkCarriedFilter => Rule::ReadsPlaceholder,
+        Mutation::HoistSortBelowSync => Rule::OrderSensitive,
+        Mutation::AggregateBelowSync => Rule::OrderSensitive,
+        Mutation::DistinctBelowSync => Rule::OrderSensitive,
+        Mutation::LimitBelowSync => Rule::OrderSensitive,
+        Mutation::ProjectAwayPlaceholder => Rule::DropsPlaceholder,
+        Mutation::ComputeOverPlaceholder => Rule::ReadsPlaceholder,
+        Mutation::BindToPlaceholder => Rule::BindingReadsPlaceholder,
+        Mutation::DesyncScan => Rule::SyncScanInAsyncPlan,
+    }
+}
+
+#[test]
+fn at_least_ten_corruption_classes() {
+    assert!(
+        ALL_MUTATIONS.len() >= 10,
+        "the issue requires >= 10 corruption classes, have {}",
+        ALL_MUTATIONS.len()
+    );
+}
+
+#[test]
+fn asyncified_bases_verify_clean() {
+    for (name, plan) in bases() {
+        for strategy in [PlacementStrategy::Full, PlacementStrategy::InsertionOnly] {
+            let out = asyncify(plan.clone(), strategy, BufferMode::Full);
+            if let Err(e) = verify_async(&out) {
+                panic!("base '{name}' ({strategy:?}) rejected:\n{e}\nplan:\n{out}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_mutation_class_is_rejected() {
+    let asyncified: Vec<(&str, PhysPlan)> = bases()
+        .into_iter()
+        .map(|(name, plan)| {
+            (
+                name,
+                asyncify(plan, PlacementStrategy::Full, BufferMode::Full),
+            )
+        })
+        .collect();
+
+    for &m in ALL_MUTATIONS {
+        let mut applied = 0usize;
+        let mut hit_expected = false;
+        for (name, plan) in &asyncified {
+            let Some(mutated) = apply_mutation(plan, m) else {
+                continue;
+            };
+            applied += 1;
+            assert_ne!(
+                &mutated, plan,
+                "mutation {m:?} on base '{name}' produced an identical plan"
+            );
+            match verify_async(&mutated) {
+                Ok(report) => panic!(
+                    "verifier ACCEPTED corrupted plan ({m:?} on base '{name}', {report}):\n{mutated}"
+                ),
+                Err(e) => {
+                    if e.violations.iter().any(|v| v.rule == expected_rule(m)) {
+                        hit_expected = true;
+                    }
+                }
+            }
+        }
+        assert!(
+            applied >= 1,
+            "mutation {m:?} applied to no base plan — dead corruption class"
+        );
+        assert!(
+            hit_expected,
+            "mutation {m:?} never triggered its target rule {:?}",
+            expected_rule(m)
+        );
+    }
+}
+
+/// The verifier catches corruption even when several mutations stack.
+#[test]
+fn stacked_mutations_still_rejected() {
+    let base = asyncify(
+        dj(
+            dj(states_scan(), spec("V1", VTableKind::WebCount)),
+            spec("V2", VTableKind::WebPages),
+        ),
+        PlacementStrategy::Full,
+        BufferMode::Full,
+    );
+    verify_async(&base).expect("base verifies");
+
+    let mut corrupted = base;
+    let mut stacked = 0;
+    for &m in &[
+        Mutation::StripSyncAttr,
+        Mutation::LimitBelowSync,
+        Mutation::DesyncScan,
+    ] {
+        if let Some(next) = apply_mutation(&corrupted, m) {
+            corrupted = next;
+            stacked += 1;
+        }
+    }
+    assert!(stacked >= 2, "expected at least two stackable mutations");
+    let err = verify_async(&corrupted).expect_err("stacked corruption must be rejected");
+    assert!(
+        err.violations.len() >= 2,
+        "stacked corruption should surface multiple violations, got: {err}"
+    );
+}

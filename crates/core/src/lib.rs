@@ -101,6 +101,9 @@ pub struct Wsq {
 
 impl Wsq {
     fn build(db: Database, config: WsqConfig) -> Result<Wsq> {
+        // Debug builds re-check every asyncified plan against the
+        // placeholder-dataflow verifier (see `wsq_engine::verify_gate`).
+        wsq_analyze::install_plan_gate();
         let web = SimWeb::build(config.corpus.clone());
         let pump = ReqPump::new(config.pump.clone());
         let mut wsq = Wsq {
@@ -233,6 +236,12 @@ impl Wsq {
                         ],
                     ));
                 }
+                // Static-verification verdict for the executed plan
+                // (skipped when the raw statement cannot be planned
+                // stand-alone, e.g. unresolved subqueries).
+                if let Ok(plan) = self.db.plan_query(&sel, &self.engines, self.opts) {
+                    report.push_str(&verify_line(&plan, self.opts.mode));
+                }
                 Ok((result, report))
             }
             _ => Err(WsqError::Plan("ANALYZE requires a SELECT".to_string())),
@@ -247,6 +256,23 @@ impl Wsq {
     /// EXPLAIN under explicit options.
     pub fn explain_with(&self, sql: &str, opts: QueryOptions) -> Result<String> {
         self.db.explain(sql, &self.engines, opts)
+    }
+
+    /// EXPLAIN VERIFY: the plan text plus the placeholder-dataflow
+    /// verifier's verdict on it (node/scan/ReqSync counts on success, the
+    /// full violation list on failure).
+    pub fn explain_verify(&self, sql: &str) -> Result<String> {
+        match wsq_sql::parse_one(sql)? {
+            wsq_sql::Statement::Select(sel) => {
+                let plan = self.db.plan_query(&sel, &self.engines, self.opts)?;
+                let mut out = plan.display();
+                out.push_str(&verify_line(&plan, self.opts.mode));
+                Ok(out)
+            }
+            _ => Err(WsqError::Plan(
+                "EXPLAIN VERIFY requires a SELECT".to_string(),
+            )),
+        }
     }
 
     /// Default query options (mutable).
@@ -346,6 +372,19 @@ impl Wsq {
             .collect();
         self.db.insert("Movies", &rows)?;
         Ok(())
+    }
+}
+
+/// One report line with the verifier's verdict on `plan` under `mode`
+/// (synchronous plans may contain `EVScan`s; asynchronous ones may not).
+fn verify_line(plan: &wsq_engine::plan::PhysPlan, mode: ExecutionMode) -> String {
+    let verdict = match mode {
+        ExecutionMode::Asynchronous => wsq_analyze::verify_async(plan),
+        _ => wsq_analyze::verify(plan),
+    };
+    match verdict {
+        Ok(report) => format!("-- verify: ok ({report})\n"),
+        Err(e) => format!("-- verify: FAILED: {e}"),
     }
 }
 
@@ -475,6 +514,41 @@ mod tests {
         assert!(pump_line.contains("launched=50"), "{pump_line}");
         assert!(wsq.analyze("CREATE TABLE X (a INT)").is_err());
         assert_eq!(wsq.pump().live_calls(), 0);
+    }
+
+    #[test]
+    fn explain_verify_reports_verdict() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        let out = wsq
+            .explain_verify(
+                "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                 ORDER BY Count DESC LIMIT 3",
+            )
+            .unwrap();
+        assert!(out.contains("AEVScan"), "{out}");
+        assert!(out.contains("-- verify: ok"), "{out}");
+        assert!(out.contains("ReqSync(s)"), "{out}");
+
+        // Synchronous plans verify too (EVScans are legitimate there).
+        wsq.options_mut().mode = ExecutionMode::Synchronous;
+        let out = wsq
+            .explain_verify("SELECT Count FROM WebCount WHERE T1 = 'Texas'")
+            .unwrap();
+        assert!(out.contains("EVScan"), "{out}");
+        assert!(out.contains("-- verify: ok"), "{out}");
+
+        assert!(wsq.explain_verify("CREATE TABLE X (a INT)").is_err());
+    }
+
+    #[test]
+    fn analyze_appends_verify_line() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        let (_, report) = wsq
+            .analyze("SELECT Count FROM WebCount WHERE T1 = 'Texas'")
+            .unwrap();
+        assert!(report.contains("-- verify: ok"), "{report}");
     }
 
     #[test]

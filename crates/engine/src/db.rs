@@ -498,7 +498,16 @@ impl Database {
         let plan = plan_select(stmt, &self.catalog, engines)?;
         Ok(match opts.mode {
             ExecutionMode::Synchronous => plan,
-            ExecutionMode::Asynchronous => asyncify(plan, opts.strategy, opts.buffer),
+            ExecutionMode::Asynchronous => {
+                let plan = asyncify(plan, opts.strategy, opts.buffer);
+                // Debug-assert gate: the placeholder-dataflow verifier
+                // (wsq-analyze) rejects any clash-rule violation the
+                // transformation might have emitted.
+                if cfg!(debug_assertions) {
+                    crate::verify_gate::check(&plan)?;
+                }
+                plan
+            }
             ExecutionMode::ParallelJoins => {
                 crate::asyncify::parallelize(plan, opts.parallel_threads)
             }

@@ -58,11 +58,8 @@ impl EngineRegistry {
 
     /// Look up an engine, case-insensitively.
     pub fn get(&self, name: &str) -> Result<(&str, &EngineEntry)> {
-        if let Some(e) = self.engines.get(name) {
-            return Ok((
-                self.engines.keys().find(|k| *k == name).unwrap().as_str(),
-                e,
-            ));
+        if let Some((k, e)) = self.engines.get_key_value(name) {
+            return Ok((k.as_str(), e));
         }
         // Case-insensitive fallback.
         for (k, e) in &self.engines {

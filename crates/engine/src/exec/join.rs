@@ -65,14 +65,16 @@ impl Executor for NestedLoopJoinExec {
 
     fn next(&mut self) -> Result<Option<Tuple>> {
         loop {
-            if self.outer.is_none() {
-                self.outer = self.left.next()?;
-                self.inner_pos = 0;
-                if self.outer.is_none() {
-                    return Ok(None);
+            let outer = match self.outer.take() {
+                Some(t) => t,
+                None => {
+                    self.inner_pos = 0;
+                    match self.left.next()? {
+                        Some(t) => t,
+                        None => return Ok(None),
+                    }
                 }
-            }
-            let outer = self.outer.as_ref().expect("just set");
+            };
             while self.inner_pos < self.inner.len() {
                 let joined = outer.join(&self.inner[self.inner_pos]);
                 self.inner_pos += 1;
@@ -81,10 +83,10 @@ impl Executor for NestedLoopJoinExec {
                     None => true,
                 };
                 if keep {
+                    self.outer = Some(outer);
                     return Ok(Some(joined));
                 }
             }
-            self.outer = None;
         }
     }
 
@@ -148,8 +150,9 @@ impl Executor for DependentJoinExec {
 
     fn next(&mut self) -> Result<Option<Tuple>> {
         loop {
-            if self.outer.is_none() {
-                match self.left.next()? {
+            let outer = match self.outer.take() {
+                Some(t) => t,
+                None => match self.left.next()? {
                     Some(t) => {
                         let values: Vec<Value> = self
                             .slots
@@ -161,20 +164,18 @@ impl Executor for DependentJoinExec {
                             .collect();
                         self.right.rebind(&values)?;
                         self.right.open()?;
-                        self.outer = Some(t);
+                        t
                     }
                     None => return Ok(None),
-                }
-            }
+                },
+            };
             match self.right.next()? {
                 Some(r) => {
-                    let outer = self.outer.as_ref().expect("outer set");
-                    return Ok(Some(outer.join(&r)));
+                    let joined = outer.join(&r);
+                    self.outer = Some(outer);
+                    return Ok(Some(joined));
                 }
-                None => {
-                    self.right.close()?;
-                    self.outer = None;
-                }
+                None => self.right.close()?,
             }
         }
     }

@@ -26,6 +26,7 @@ pub mod engines;
 pub mod exec;
 pub mod expr;
 pub mod plan;
+pub mod verify_gate;
 
 pub use asyncify::asyncify;
 pub use builder::{parse_virtual_name, plan_select, DEFAULT_RANK_LIMIT};

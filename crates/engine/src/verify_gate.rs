@@ -1,0 +1,41 @@
+//! Post-`asyncify` plan verification hook.
+//!
+//! The static verifier lives in `wsq-analyze`, which depends on this
+//! crate for [`PhysPlan`] — so the engine cannot call it directly
+//! without a dependency cycle. Instead the engine exposes a process-wide
+//! gate slot: `wsq_analyze::install_plan_gate` (invoked from
+//! `Wsq::build`) installs the verifier here, and
+//! [`Database::plan_query`](crate::db::Database::plan_query) runs it on
+//! every asynchronous plan in debug builds. Release builds skip the
+//! check (the transformation is property-tested against the same
+//! verifier), and plans built before any gate is installed pass
+//! unchecked.
+
+use crate::plan::PhysPlan;
+use std::sync::OnceLock;
+use wsq_common::{Result, WsqError};
+
+/// A plan verifier: `Err` carries the human-readable violation list.
+pub type PlanGate = fn(&PhysPlan) -> std::result::Result<(), String>;
+
+static GATE: OnceLock<PlanGate> = OnceLock::new();
+
+/// Install the process-wide plan gate. First caller wins; later calls
+/// are no-ops (the verifier is stateless, so racing installs are
+/// harmless).
+pub fn install(gate: PlanGate) {
+    let _ = GATE.set(gate);
+}
+
+/// Run the installed gate (if any) against `plan`, mapping violations
+/// to [`WsqError::Plan`].
+pub fn check(plan: &PhysPlan) -> Result<()> {
+    if let Some(gate) = GATE.get() {
+        if let Err(msg) = gate(plan) {
+            return Err(WsqError::Plan(format!(
+                "asyncify emitted an invalid plan (verifier): {msg}"
+            )));
+        }
+    }
+    Ok(())
+}

@@ -286,6 +286,25 @@ fn count(plan: &PhysPlan, pred: fn(&PhysPlan) -> bool) -> usize {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
+    /// Round-trip through the independent static verifier
+    /// (`wsq-analyze`): every plan `asyncify` emits must pass the
+    /// placeholder-dataflow checks clean, under both placement
+    /// strategies and both buffer modes.
+    #[test]
+    fn verifier_accepts_asyncify_output(
+        plan in arb_plan(4),
+        strategy in prop_oneof![
+            Just(PlacementStrategy::Full),
+            Just(PlacementStrategy::InsertionOnly)
+        ],
+        buffer in prop_oneof![Just(BufferMode::Full), Just(BufferMode::Streaming)],
+    ) {
+        let out = asyncify(plan, strategy, buffer);
+        if let Err(e) = wsq_analyze::verify_async(&out) {
+            prop_assert!(false, "verifier rejected asyncify output:\n{}\nplan:\n{}", e, out);
+        }
+    }
+
     #[test]
     fn asyncify_invariants_hold(
         plan in arb_plan(4),
@@ -317,4 +336,85 @@ proptest! {
         let twice = asyncify(out.clone(), strategy, BufferMode::Full);
         prop_assert_eq!(twice, out);
     }
+}
+
+fn count_spec(alias: &str) -> EvSpec {
+    EvSpec {
+        kind: VTableKind::WebCount,
+        engine: "AV".into(),
+        alias: alias.to_string(),
+        template: None,
+        bindings: vec![EvBinding::Column(ColumnRef {
+            qualifier: Some("States".into()),
+            name: "Name".into(),
+        })],
+        rank_limit: 3,
+        supports_near: true,
+    }
+}
+
+/// Regression for `consolidate_adjacent`'s flush-point pairing: when the
+/// input plan carries its own (partially covering) ReqSync at the root,
+/// re-asyncification flushes the still-uncovered attributes into a new
+/// ReqSync directly above it — the pair must be merged into one, which
+/// the static verifier now asserts (it rejects adjacent ReqSync pairs).
+#[test]
+fn consolidation_merges_carried_reqsync_at_flush_point() {
+    let v1 = count_spec("V1");
+    let v2 = count_spec("V2");
+    let v1_attrs = v1.external_attrs();
+    let v2_attrs = v2.external_attrs();
+    let nested = PhysPlan::DependentJoin {
+        left: Box::new(PhysPlan::DependentJoin {
+            left: Box::new(scan(0)),
+            right: Box::new(PhysPlan::AEVScan(v1)),
+        }),
+        right: Box::new(PhysPlan::AEVScan(v2)),
+    };
+    // The carried ReqSync covers only V1; V2's attributes must rise past
+    // it and flush at the root.
+    let carried = PhysPlan::ReqSync {
+        input: Box::new(nested.clone()),
+        attrs: v1_attrs.clone(),
+        mode: BufferMode::Full,
+    };
+    let out = asyncify(carried, PlacementStrategy::Full, BufferMode::Full);
+
+    // The analyzer accepts the consolidated plan ...
+    wsq_analyze::verify_async(&out)
+        .unwrap_or_else(|e| panic!("consolidated plan rejected:\n{e}\nplan:\n{out}"));
+    // ... which has exactly one ReqSync, covering both scans.
+    assert_eq!(
+        count(&out, |p| matches!(p, PhysPlan::ReqSync { .. })),
+        1,
+        "adjacent pair not merged:\n{out}"
+    );
+    let PhysPlan::ReqSync { attrs, .. } = &out else {
+        panic!("expected ReqSync at root:\n{out}");
+    };
+    for a in v1_attrs.iter().chain(&v2_attrs) {
+        assert!(
+            attrs.iter().any(|s| s == a),
+            "merged ReqSync missing {a:?}:\n{out}"
+        );
+    }
+
+    // And the shape consolidation removes — the un-merged adjacent pair —
+    // is exactly what the verifier rejects.
+    let unmerged = PhysPlan::ReqSync {
+        input: Box::new(PhysPlan::ReqSync {
+            input: Box::new(nested),
+            attrs: v1_attrs,
+            mode: BufferMode::Full,
+        }),
+        attrs: v2_attrs,
+        mode: BufferMode::Full,
+    };
+    let err = wsq_analyze::verify_async(&unmerged).expect_err("adjacent pair must be rejected");
+    assert!(
+        err.violations
+            .iter()
+            .any(|v| v.rule == wsq_analyze::Rule::AdjacentReqSync),
+        "expected AdjacentReqSync, got: {err}"
+    );
 }

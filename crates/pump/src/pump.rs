@@ -257,9 +257,14 @@ impl ReqPump {
         self.shared.stats.registered.fetch_add(1, Ordering::Relaxed);
         if self.shared.config.coalesce {
             if let Some(&cid) = st.index.get(&req) {
-                self.shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                st.meta.get_mut(&cid).expect("indexed call has meta").refs += 1;
-                return Ok(cid);
+                // The index and meta maps are kept in step under the state
+                // lock; if the entry is somehow gone, fall through and
+                // register a fresh call rather than panic.
+                if let Some(meta) = st.meta.get_mut(&cid) {
+                    self.shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    meta.refs += 1;
+                    return Ok(cid);
+                }
             }
         }
         let cid = CallId(st.next_call);
@@ -486,8 +491,8 @@ fn pop_launchable(st: &mut State, shared: &Shared) -> Option<CallId> {
         let used = st.active_per_dest.get(dest).copied().unwrap_or(0);
         used < dest_cap(config, dest)
     })?;
-    let cid = st.queue.remove(pos).expect("position is in range");
-    let meta = st.meta.get_mut(&cid).expect("queued call has meta");
+    let cid = st.queue.remove(pos)?;
+    let meta = st.meta.get_mut(&cid)?;
     meta.state = CallState::InFlight;
     let dest = meta.req.engine.clone();
     st.active_total += 1;
@@ -598,8 +603,9 @@ fn event_loop(shared: Arc<Shared>) {
         // Delivery phase: complete everything whose deadline has passed.
         let now = Instant::now();
         while heap.peek().is_some_and(|p| p.0.deadline <= now) {
-            let Reverse(p) = heap.pop().expect("peeked");
-            complete(&shared, p.cid, p.result);
+            if let Some(Reverse(p)) = heap.pop() {
+                complete(&shared, p.cid, p.result);
+            }
         }
 
         // Wait phase: sleep until the next deadline or new work arrives.

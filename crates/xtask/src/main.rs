@@ -1,0 +1,152 @@
+//! Workspace automation. Currently one subcommand:
+//!
+//! ```text
+//! cargo xtask lint
+//! ```
+//!
+//! Runs the `wsq-analyze` source lints over the engine/pump/websim
+//! crates and enforces two gates (both run in CI):
+//!
+//! 1. **Panic-site budget**: `.unwrap()` / `.expect(` in non-test code
+//!    of `crates/engine` and `crates/pump` is compared per file against
+//!    `crates/xtask/panic-allowlist.txt`. New sites fail; the allowlist
+//!    may only shrink (a stale, too-generous entry also fails, so the
+//!    burn-down count stays honest).
+//! 2. **No locks across backend calls**: a `let`-bound lock guard still
+//!    live at a `.execute(` call site fails, in any scanned crate.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use wsq_analyze::lint::{scan_dir, FileLint};
+
+/// Crates whose panic sites are budgeted by the allowlist.
+const PANIC_BUDGET_DIRS: &[&str] = &["crates/engine/src", "crates/pump/src"];
+
+/// Crates additionally scanned for locks held across backend calls.
+const LOCK_LINT_DIRS: &[&str] = &["crates/engine/src", "crates/pump/src", "crates/websim/src"];
+
+const ALLOWLIST: &str = "crates/xtask/panic-allowlist.txt";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`; available: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(&manifest)
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut errors: Vec<String> = Vec::new();
+
+    // Pass 1: panic-site budget over engine + pump.
+    let allowlist = match load_allowlist(&root.join(ALLOWLIST)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: cannot read {ALLOWLIST}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut budgeted: Vec<FileLint> = Vec::new();
+    for dir in PANIC_BUDGET_DIRS {
+        match scan_dir(&root.join(dir), &root) {
+            Ok(mut files) => budgeted.append(&mut files),
+            Err(e) => errors.push(format!("scanning {dir}: {e}")),
+        }
+    }
+    let mut total = 0usize;
+    for f in &budgeted {
+        let actual = f.panic_sites();
+        total += actual;
+        let allowed = allowlist
+            .iter()
+            .find(|(p, _)| p == &f.path)
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        if actual > allowed {
+            errors.push(format!(
+                "{}: {} panic site(s) ({} unwrap, {} expect) but only {} allowed \
+                 — convert to typed WsqError instead of raising the budget",
+                f.path, actual, f.unwraps, f.expects, allowed
+            ));
+        } else if actual < allowed {
+            errors.push(format!(
+                "{}: allowlist grants {} panic site(s) but only {} remain \
+                 — ratchet {} down so the budget cannot regrow",
+                f.path, allowed, actual, ALLOWLIST
+            ));
+        }
+    }
+    for (p, n) in &allowlist {
+        if *n > 0 && !budgeted.iter().any(|f| &f.path == p) {
+            errors.push(format!(
+                "{ALLOWLIST} lists `{p}` ({n} site(s)) but no such file was scanned"
+            ));
+        }
+    }
+
+    // Pass 2: lock guards across backend calls, everywhere scanned.
+    for dir in LOCK_LINT_DIRS {
+        match scan_dir(&root.join(dir), &root) {
+            Ok(files) => {
+                for f in files {
+                    errors.extend(f.lock_violations);
+                }
+            }
+            Err(e) => errors.push(format!("scanning {dir}: {e}")),
+        }
+    }
+
+    if errors.is_empty() {
+        let budget: usize = allowlist.iter().map(|&(_, n)| n).sum();
+        println!(
+            "xtask lint: ok — {total} panic site(s) within budget {budget}, \
+             no locks held across backend calls"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} error(s)", errors.len());
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Parse the allowlist: one `path count` pair per line; `#` comments.
+fn load_allowlist(path: &Path) -> Result<Vec<(String, usize)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(p), Some(n)) = (parts.next(), parts.next()) else {
+            return Err(format!("line {}: expected `path count`", lineno + 1));
+        };
+        let n: usize = n
+            .parse()
+            .map_err(|e| format!("line {}: bad count: {e}", lineno + 1))?;
+        out.push((p.to_string(), n));
+    }
+    Ok(out)
+}

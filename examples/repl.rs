@@ -9,6 +9,7 @@
 //! Commands:
 //! * any SQL statement (`;`-terminated or single-line)
 //! * `.explain <select>` — show the (transformed) physical plan
+//! * `.verify <select>`  — show the plan plus the static verifier's verdict
 //! * `.analyze <select>` — run it and show per-operator runtime stats
 //! * `.mode sync|async|parallel` — switch execution mode
 //! * `.tables`           — list stored tables
@@ -69,6 +70,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         if let Some(sql) = line.strip_prefix(".explain") {
             match wsq.explain(sql.trim()) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix(".verify") {
+            match wsq.explain_verify(sql.trim()) {
                 Ok(plan) => println!("{plan}"),
                 Err(e) => println!("error: {e}"),
             }

@@ -1,0 +1,823 @@
+//! Deterministic-schedule model checking for small concurrent protocols,
+//! in the style of `loom` / `shuttle` but self-contained (this build
+//! environment has no crates.io access — see `shims/README.md`).
+//!
+//! A model is a closure using [`thread::spawn`], [`sync::Mutex`] and
+//! [`sync::Condvar`] from this crate instead of `std`. [`check`] runs the
+//! closure repeatedly, each time forcing a different thread interleaving,
+//! until every schedule reachable from the model's synchronization points
+//! has been explored (depth-first with replay). Real OS threads execute
+//! the model, but a central kernel serializes them so exactly one runs at
+//! a time; every lock acquisition and condvar wait is a scheduling point.
+//!
+//! What the checker proves, within its bounds:
+//!
+//! - **No lost wakeup / deadlock**: if under some schedule every live
+//!   thread is blocked, the run panics with the offending schedule.
+//! - **No assertion failure**: any `assert!` in the model holds under
+//!   every explored schedule (a panic aborts exploration and reports the
+//!   decision trace that reached it).
+//! - **No livelock**: a run exceeding `max_steps` scheduling decisions
+//!   fails.
+//!
+//! Models must be deterministic apart from scheduling: no time, no
+//! randomness, no I/O. Scheduling points are: the start of a spawned
+//! thread, every `Mutex::lock` (a preemption opportunity *before*
+//! acquiring), every `Condvar::wait` (block + reacquire) and every
+//! `JoinHandle::join`. For protocols whose shared state is entirely
+//! mutex-protected — the only kind modelled here — context switches at
+//! these points reach every observably distinct interleaving.
+
+use std::cell::RefCell;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Exploration bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Upper bound on distinct schedules to explore. If reached, the
+    /// returned [`Stats::complete`] is `false`.
+    pub max_schedules: usize,
+    /// Upper bound on scheduling decisions in a single run (livelock
+    /// guard).
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 50_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Number of distinct schedules executed.
+    pub schedules: usize,
+    /// `true` if the schedule tree was exhausted (rather than the
+    /// `max_schedules` cap being hit).
+    pub complete: bool,
+    /// Deepest decision sequence seen.
+    pub max_depth: usize,
+}
+
+/// Explore every schedule of `model` under the default [`Config`].
+/// Panics (with the decision trace) on any assertion failure, deadlock,
+/// lost wakeup or livelock.
+pub fn check<F>(model: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    check_with(Config::default(), model)
+}
+
+/// [`check`] with explicit bounds.
+pub fn check_with<F>(config: Config, model: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let model = Arc::new(model);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    let mut max_depth = 0usize;
+    loop {
+        schedules += 1;
+        let (mut decisions, failure) = run_once(config, model.clone(), &prefix);
+        max_depth = max_depth.max(decisions.len());
+        if let Some(msg) = failure {
+            panic!(
+                "schedcheck failure after {schedules} schedule(s): {msg}\n\
+                 decision trace: {:?}",
+                decisions.iter().map(|d| d.chosen).collect::<Vec<_>>()
+            );
+        }
+        // Depth-first backtrack: drop exhausted trailing decisions, then
+        // advance the deepest one that still has unexplored branches.
+        while decisions.last().is_some_and(|d| d.chosen + 1 >= d.options) {
+            decisions.pop();
+        }
+        match decisions.last_mut() {
+            None => {
+                return Stats {
+                    schedules,
+                    complete: true,
+                    max_depth,
+                }
+            }
+            Some(last) => last.chosen += 1,
+        }
+        prefix = decisions.iter().map(|d| d.chosen).collect();
+        if schedules >= config.max_schedules {
+            return Stats {
+                schedules,
+                complete: false,
+                max_depth,
+            };
+        }
+    }
+}
+
+/// One scheduling decision: which of `options` runnable threads ran.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCv(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Default)]
+struct MutexState {
+    held_by: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct CondvarState {
+    waiters: VecDeque<usize>,
+}
+
+struct KernelState {
+    threads: Vec<ThreadState>,
+    current: usize,
+    steps: usize,
+    prefix: Vec<usize>,
+    depth: usize,
+    decisions: Vec<Decision>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CondvarState>,
+    aborting: bool,
+    failure: Option<String>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct Kernel {
+    state: StdMutex<KernelState>,
+    cv: StdCondvar,
+    max_steps: usize,
+}
+
+/// Panic payload used to unwind threads when a run aborts early.
+struct AbortToken;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Kernel>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> (Arc<Kernel>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("schedcheck primitive used outside check()")
+    })
+}
+
+impl Kernel {
+    fn new(prefix: &[usize], max_steps: usize) -> Kernel {
+        Kernel {
+            state: StdMutex::new(KernelState {
+                threads: vec![ThreadState::Runnable],
+                current: 0,
+                steps: 0,
+                prefix: prefix.to_vec(),
+                depth: 0,
+                decisions: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                aborting: false,
+                failure: None,
+                os_handles: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+            max_steps,
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, KernelState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            // A model thread panicked while holding the kernel lock only
+            // if the kernel itself is buggy; keep going so the trace
+            // surfaces.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Record a scheduling decision among the runnable threads and hand
+    /// the turn to the chosen one. Caller must currently hold the state
+    /// lock. A run with no runnable thread is either done (all finished)
+    /// or a deadlock / lost wakeup.
+    fn choose_next(&self, st: &mut KernelState) {
+        if st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ThreadState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|s| *s == ThreadState::Finished) {
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<(usize, ThreadState)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s != ThreadState::Finished)
+                .map(|(i, s)| (i, *s))
+                .collect();
+            self.fail(
+                st,
+                format!("deadlock / lost wakeup: all live threads blocked: {blocked:?}"),
+            );
+            return;
+        }
+        let idx = if runnable.len() == 1 {
+            0
+        } else {
+            let d = st.depth;
+            st.depth += 1;
+            let chosen = if d < st.prefix.len() {
+                st.prefix[d].min(runnable.len() - 1)
+            } else {
+                0
+            };
+            st.decisions.push(Decision {
+                chosen,
+                options: runnable.len(),
+            });
+            chosen
+        };
+        st.current = runnable[idx];
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            self.fail(
+                st,
+                format!("step limit {} exceeded (livelock?)", self.max_steps),
+            );
+        }
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, st: &mut KernelState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until it is `tid`'s turn (or the run is aborting, in which
+    /// case the thread unwinds with [`AbortToken`]).
+    fn wait_turn(&self, tid: usize) {
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                st.threads[tid] = ThreadState::Finished;
+                self.cv.notify_all();
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            if st.current == tid && st.threads[tid] == ThreadState::Runnable {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// A preemption opportunity: let the scheduler pick any runnable
+    /// thread (possibly the caller) before the caller proceeds.
+    fn schedule_point(&self, tid: usize) {
+        {
+            let mut st = self.lock_state();
+            if st.aborting {
+                st.threads[tid] = ThreadState::Finished;
+                self.cv.notify_all();
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            self.choose_next(&mut st);
+        }
+        self.wait_turn(tid);
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(ThreadState::Runnable);
+        st.threads.len() - 1
+    }
+
+    fn register_mutex(&self) -> usize {
+        let mut st = self.lock_state();
+        st.mutexes.push(MutexState::default());
+        st.mutexes.len() - 1
+    }
+
+    fn register_condvar(&self) -> usize {
+        let mut st = self.lock_state();
+        st.condvars.push(CondvarState::default());
+        st.condvars.len() - 1
+    }
+
+    /// Acquire mutex `mid`, blocking (and yielding the turn) while held.
+    fn mutex_lock(&self, tid: usize, mid: usize) {
+        self.schedule_point(tid);
+        loop {
+            {
+                let mut st = self.lock_state();
+                if st.mutexes[mid].held_by.is_none() {
+                    st.mutexes[mid].held_by = Some(tid);
+                    return;
+                }
+                st.mutexes[mid].waiters.push(tid);
+                st.threads[tid] = ThreadState::BlockedMutex(mid);
+                self.choose_next(&mut st);
+            }
+            self.wait_turn(tid);
+        }
+    }
+
+    fn mutex_unlock(&self, tid: usize, mid: usize) {
+        let mut st = self.lock_state();
+        debug_assert_eq!(st.mutexes[mid].held_by, Some(tid));
+        st.mutexes[mid].held_by = None;
+        let waiters = std::mem::take(&mut st.mutexes[mid].waiters);
+        for w in waiters {
+            st.threads[w] = ThreadState::Runnable;
+        }
+        // Not a decision point: the next lock/wait/join/exit of the
+        // caller is, and all shared state is mutex-protected.
+        self.cv.notify_all();
+    }
+
+    /// Atomically release `mid` and wait on condvar `cid`; reacquire
+    /// `mid` after being notified.
+    fn condvar_wait(&self, tid: usize, cid: usize, mid: usize) {
+        {
+            let mut st = self.lock_state();
+            st.mutexes[mid].held_by = None;
+            let waiters = std::mem::take(&mut st.mutexes[mid].waiters);
+            for w in waiters {
+                st.threads[w] = ThreadState::Runnable;
+            }
+            st.condvars[cid].waiters.push_back(tid);
+            st.threads[tid] = ThreadState::BlockedCv(cid);
+            self.choose_next(&mut st);
+        }
+        self.wait_turn(tid);
+        // Reacquire without the extra pre-acquire preemption point: the
+        // wakeup itself was one.
+        loop {
+            {
+                let mut st = self.lock_state();
+                if st.mutexes[mid].held_by.is_none() {
+                    st.mutexes[mid].held_by = Some(tid);
+                    return;
+                }
+                st.mutexes[mid].waiters.push(tid);
+                st.threads[tid] = ThreadState::BlockedMutex(mid);
+                self.choose_next(&mut st);
+            }
+            self.wait_turn(tid);
+        }
+    }
+
+    /// Wake the longest-waiting thread (deterministic FIFO, mirroring a
+    /// fair OS wakeup; the woken thread still contends for the mutex).
+    fn notify_one(&self, cid: usize) {
+        let mut st = self.lock_state();
+        if let Some(w) = st.condvars[cid].waiters.pop_front() {
+            st.threads[w] = ThreadState::Runnable;
+        }
+        self.cv.notify_all();
+    }
+
+    fn notify_all(&self, cid: usize) {
+        let mut st = self.lock_state();
+        while let Some(w) = st.condvars[cid].waiters.pop_front() {
+            st.threads[w] = ThreadState::Runnable;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block until thread `target` finishes.
+    fn join_wait(&self, tid: usize, target: usize) {
+        loop {
+            {
+                let mut st = self.lock_state();
+                if st.threads[target] == ThreadState::Finished {
+                    return;
+                }
+                st.threads[tid] = ThreadState::BlockedJoin(target);
+                self.choose_next(&mut st);
+            }
+            self.wait_turn(tid);
+        }
+    }
+
+    /// Mark `tid` finished; wake joiners; pass the turn on (or record the
+    /// panic and abort the run).
+    fn exit(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.lock_state();
+        st.threads[tid] = ThreadState::Finished;
+        for i in 0..st.threads.len() {
+            if st.threads[i] == ThreadState::BlockedJoin(tid) {
+                st.threads[i] = ThreadState::Runnable;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            self.fail(&mut st, format!("model thread {tid} panicked: {msg}"));
+            return;
+        }
+        self.choose_next(&mut st);
+    }
+
+    /// Quiet exit on [`AbortToken`] unwind.
+    fn finish_quiet(&self, tid: usize) {
+        let mut st = self.lock_state();
+        st.threads[tid] = ThreadState::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Checker side: wait until every model thread has finished.
+    fn wait_done(&self) {
+        let mut st = self.lock_state();
+        while !st.threads.iter().all(|s| *s == ThreadState::Finished) {
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+fn payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run a model thread body under the kernel: wait for the first turn,
+/// run, and route the exit (normal, model panic, abort unwind).
+fn run_thread_body<T: Send + 'static>(
+    kernel: &Arc<Kernel>,
+    tid: usize,
+    out: &Arc<StdMutex<Option<T>>>,
+    body: impl FnOnce() -> T,
+) {
+    CTX.with(|c| *c.borrow_mut() = Some((kernel.clone(), tid)));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        kernel.wait_turn(tid);
+        body()
+    }));
+    CTX.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(v) => {
+            if let Ok(mut slot) = out.lock() {
+                *slot = Some(v);
+            }
+            kernel.exit(tid, None);
+        }
+        Err(p) if p.is::<AbortToken>() => kernel.finish_quiet(tid),
+        Err(p) => kernel.exit(tid, Some(payload_to_string(p))),
+    }
+}
+
+fn run_once<F>(config: Config, model: Arc<F>, prefix: &[usize]) -> (Vec<Decision>, Option<String>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let kernel = Arc::new(Kernel::new(prefix, config.max_steps));
+    let k = kernel.clone();
+    let out: Arc<StdMutex<Option<()>>> = Arc::new(StdMutex::new(None));
+    let o = out.clone();
+    let root = std::thread::spawn(move || run_thread_body(&k, 0, &o, move || model()));
+    kernel.wait_done();
+    let _ = root.join();
+    let handles = {
+        let mut st = kernel.lock_state();
+        std::mem::take(&mut st.os_handles)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    let st = kernel.lock_state();
+    (st.decisions.clone(), st.failure.clone())
+}
+
+/// Explicit preemption point (rarely needed; locks already preempt).
+pub fn yield_now() {
+    let (kernel, tid) = current_ctx();
+    kernel.schedule_point(tid);
+}
+
+/// Threads under the checker.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a model thread; [`join`](JoinHandle::join) is a
+    /// scheduling point.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        kernel: Arc<Kernel>,
+        result: Arc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread and return its value. A panic in the
+        /// target aborts the whole run, so this always yields the value.
+        pub fn join(self) -> T {
+            let (_, tid) = current_ctx();
+            self.kernel.join_wait(tid, self.tid);
+            let v = match self.result.lock() {
+                Ok(mut g) => g.take(),
+                Err(p) => p.into_inner().take(),
+            };
+            match v {
+                Some(v) => v,
+                // Target finished without a value: the run is aborting.
+                None => panic::panic_any(AbortToken),
+            }
+        }
+    }
+
+    /// Spawn a model thread. It starts runnable but only executes when
+    /// the scheduler picks it.
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (kernel, _) = current_ctx();
+        let tid = kernel.register_thread();
+        let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let k = kernel.clone();
+        let r = result.clone();
+        let os = std::thread::spawn(move || run_thread_body(&k, tid, &r, f));
+        kernel.lock_state().os_handles.push(os);
+        JoinHandle {
+            tid,
+            kernel,
+            result,
+        }
+    }
+}
+
+/// Synchronization primitives under the checker.
+pub mod sync {
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+
+    /// A mutex whose acquisition order the checker controls.
+    pub struct Mutex<T> {
+        mid: usize,
+        kernel: Arc<Kernel>,
+        cell: UnsafeCell<T>,
+    }
+
+    // Exactly one model thread runs at a time and the kernel enforces
+    // mutual exclusion on `cell`, so cross-thread access is serialized.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    /// RAII guard; dropping releases the lock (not a scheduling point).
+    pub struct MutexGuard<'a, T> {
+        mx: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a mutex registered with the current run's kernel; only
+        /// valid inside [`check`](super::check).
+        #[allow(clippy::new_without_default)]
+        pub fn new(value: T) -> Mutex<T> {
+            let (kernel, _) = current_ctx();
+            let mid = kernel.register_mutex();
+            Mutex {
+                mid,
+                kernel,
+                cell: UnsafeCell::new(value),
+            }
+        }
+
+        /// Acquire (a scheduling point: the checker may run any other
+        /// thread first).
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let (_, tid) = current_ctx();
+            self.kernel.mutex_lock(tid, self.mid);
+            MutexGuard { mx: self }
+        }
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            unsafe { &*self.mx.cell.get() }
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            unsafe { &mut *self.mx.cell.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            let (_, tid) = current_ctx();
+            self.mx.kernel.mutex_unlock(tid, self.mx.mid);
+        }
+    }
+
+    /// A condition variable with deterministic FIFO wakeup.
+    pub struct Condvar {
+        cid: usize,
+        kernel: Arc<Kernel>,
+    }
+
+    impl Condvar {
+        /// Create a condvar registered with the current run's kernel.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Condvar {
+            let (kernel, _) = current_ctx();
+            let cid = kernel.register_condvar();
+            Condvar { cid, kernel }
+        }
+
+        /// Release the guard's mutex, block until notified, reacquire.
+        /// No spurious wakeups; callers should still loop on their
+        /// condition as with `std`.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            let (_, tid) = current_ctx();
+            let mx = guard.mx;
+            // The kernel releases the mutex itself; skip the guard's
+            // Drop-unlock.
+            std::mem::forget(guard);
+            self.kernel.condvar_wait(tid, self.cid, mx.mid);
+            MutexGuard { mx }
+        }
+
+        /// Wake the longest-waiting thread, if any.
+        pub fn notify_one(&self) {
+            self.kernel.notify_one(self.cid);
+        }
+
+        /// Wake all waiting threads.
+        pub fn notify_all(&self) {
+            self.kernel.notify_all(self.cid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Condvar, Mutex};
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn explores_multiple_schedules_and_preserves_mutex_atomicity() {
+        let stats = check(|| {
+            let counter = StdArc::new(Mutex::new(0u32));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let c = counter.clone();
+                handles.push(thread::spawn(move || {
+                    let mut g = c.lock();
+                    let v = *g;
+                    // The guard is held across the read-modify-write, so
+                    // every schedule must still total 2.
+                    *g = v + 1;
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*counter.lock(), 2);
+        });
+        assert!(stats.complete, "exploration hit the schedule cap");
+        assert!(stats.schedules >= 2, "expected >1 interleaving");
+    }
+
+    #[test]
+    fn covers_both_orders_of_two_racing_threads() {
+        // Record which thread got the lock first across all schedules;
+        // a real exploration must see both orders.
+        let first_a = StdArc::new(AtomicUsize::new(0));
+        let first_b = StdArc::new(AtomicUsize::new(0));
+        let (fa, fb) = (first_a.clone(), first_b.clone());
+        let stats = check(move || {
+            let slot = StdArc::new(Mutex::new(None::<&'static str>));
+            let s1 = slot.clone();
+            let s2 = slot.clone();
+            let t1 = thread::spawn(move || {
+                let mut g = s1.lock();
+                if g.is_none() {
+                    *g = Some("a");
+                }
+            });
+            let t2 = thread::spawn(move || {
+                let mut g = s2.lock();
+                if g.is_none() {
+                    *g = Some("b");
+                }
+            });
+            t1.join();
+            t2.join();
+            match *slot.lock() {
+                Some("a") => fa.fetch_add(1, Ordering::Relaxed),
+                Some("b") => fb.fetch_add(1, Ordering::Relaxed),
+                _ => panic!("slot never filled"),
+            };
+        });
+        assert!(stats.complete);
+        assert!(first_a.load(Ordering::Relaxed) > 0, "never saw a-first");
+        assert!(first_b.load(Ordering::Relaxed) > 0, "never saw b-first");
+    }
+
+    #[test]
+    fn condvar_handshake_completes_under_all_schedules() {
+        let stats = check(|| {
+            let flag = StdArc::new((Mutex::new(false), Condvar::new()));
+            let f = flag.clone();
+            let producer = thread::spawn(move || {
+                let (m, cv) = &*f;
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            let (m, cv) = &*flag;
+            let mut g = m.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+            drop(g);
+            producer.join();
+        });
+        assert!(stats.complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock / lost wakeup")]
+    fn detects_a_seeded_lost_wakeup() {
+        // Classic bug: test-then-wait without holding the lock across
+        // the test. If the producer's notify lands between the consumer's
+        // check and its wait, the wakeup is lost. Some schedule must
+        // trigger it, and the checker must report it.
+        check(|| {
+            let flag = StdArc::new((Mutex::new(false), Condvar::new()));
+            let f = flag.clone();
+            let _producer = thread::spawn(move || {
+                let (m, cv) = &*f;
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            let (m, cv) = &*flag;
+            let ready = *m.lock(); // guard dropped: race window opens
+            if !ready {
+                let g = m.lock();
+                let _g = cv.wait(g); // may wait forever
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "model thread")]
+    fn reports_assertion_failures_with_a_trace() {
+        check(|| {
+            let v = StdArc::new(Mutex::new(0u32));
+            let v2 = v.clone();
+            let t = thread::spawn(move || {
+                *v2.lock() += 1;
+            });
+            // Racy read: under the child-first schedule this sees 1 and
+            // the assert below fires.
+            let seen = *v.lock();
+            t.join();
+            assert_eq!(seen, 0, "child ran before parent read");
+        });
+    }
+}
