@@ -1,8 +1,10 @@
+#![deny(missing_docs)]
+
 //! Static analysis for WSQ/DSQ.
 //!
 //! Three machine-checked safety nets over the paper's correctness story:
 //!
-//! - [`verify`] / [`verify_async`] ([`mod@verify`]): a bottom-up
+//! - [`verify()`] / [`verify_async`] ([`mod@verify`]): a bottom-up
 //!   abstract interpretation over [`PhysPlan`] computing the
 //!   may-be-placeholder attribute set at every operator, rejecting plans
 //!   that violate the clash rules of §4.5.2 or the structural invariants

@@ -25,6 +25,11 @@
 //! - [`leader_failure_model`]: a failed leader removes the Pending entry
 //!   (no poisoning): concurrent followers see the error, but the next
 //!   request elects a fresh leader and succeeds.
+//! - [`trace_ring_model`] / [`trace_ring_overwrite_model`]: the obs
+//!   trace ring's reserve-then-write protocol (`crates/obs/trace.rs`)
+//!   loses nothing below capacity, keeps exactly the newest events at
+//!   capacity, reports the dropped count exactly, and never shows a
+//!   concurrent snapshot reader a torn or unsorted view.
 
 use schedcheck::sync::{Condvar, Mutex};
 use schedcheck::{check_with, thread, Config, Stats};
@@ -388,6 +393,139 @@ pub fn leader_failure_model() -> Stats {
     })
 }
 
+// ---------------------------------------------------------------------
+// Models 5–6: the obs trace ring (crates/obs trace.rs push/snapshot).
+// ---------------------------------------------------------------------
+
+/// The ring at `obs::TraceRing`'s exact lock boundaries: reserve a
+/// sequence number first (one atomic `fetch_add` in the real code — a
+/// mutexed counter here, schedcheck models no atomics), then write slot
+/// `seq % capacity` under that slot's own lock, but only if the slot
+/// holds nothing newer — a lapped slow writer must never clobber
+/// fresher data.
+struct MiniRing {
+    head: Mutex<u64>,
+    /// `(seq, value)` per slot; `None` = never written.
+    slots: Vec<Mutex<Option<(u64, u64)>>>,
+}
+
+impl MiniRing {
+    fn new(capacity: usize) -> MiniRing {
+        MiniRing {
+            head: Mutex::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    fn push(&self, value: u64) {
+        let seq = {
+            let mut h = self.head.lock();
+            let s = *h;
+            *h += 1;
+            s
+        };
+        let mut slot = self.slots[seq as usize % self.slots.len()].lock();
+        match *slot {
+            // Someone with a newer sequence got here first: drop ours.
+            Some((cur, _)) if cur > seq => {}
+            _ => *slot = Some((seq, value)),
+        }
+    }
+
+    /// Exact by construction: every reserved sequence is written exactly
+    /// once, so the ring holds the `capacity` newest once it wraps.
+    fn dropped(&self) -> u64 {
+        self.head.lock().saturating_sub(self.slots.len() as u64)
+    }
+
+    fn snapshot_since(&self, pos: u64) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for slot in &self.slots {
+            if let Some((seq, v)) = *slot.lock() {
+                if seq >= pos {
+                    out.push((seq, v));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// A snapshot's internal invariants, checked at any point in the race:
+/// no duplicate sequence numbers, never more events than slots.
+fn assert_snapshot_sane(snap: &[(u64, u64)], capacity: usize) {
+    assert!(snap.len() <= capacity, "snapshot larger than the ring");
+    for pair in snap.windows(2) {
+        assert!(pair[0].0 < pair[1].0, "duplicate sequence in snapshot");
+    }
+}
+
+/// Below capacity nothing is ever lost: two writers push one event
+/// each into a 2-slot ring while the main thread snapshots mid-race;
+/// every reserved sequence is present afterwards and the drop counter
+/// is 0. (The ring is kept at two slots so the schedule tree exhausts;
+/// the protocol is slot-local, so width adds no new interleavings.)
+pub fn trace_ring_model() -> Stats {
+    check_with(bounds(), || {
+        let ring = Arc::new(MiniRing::new(2));
+        let writers: Vec<_> = [10u64, 20u64]
+            .into_iter()
+            .map(|value| {
+                let r = ring.clone();
+                thread::spawn(move || r.push(value))
+            })
+            .collect();
+        // Concurrent reader: whatever prefix of the race it observes
+        // must be internally consistent.
+        assert_snapshot_sane(&ring.snapshot_since(0), 2);
+        for w in writers {
+            w.join();
+        }
+        let snap = ring.snapshot_since(0);
+        assert_snapshot_sane(&snap, 2);
+        let seqs: Vec<u64> = snap.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1], "an event was lost below capacity");
+        assert_eq!(ring.dropped(), 0);
+        // Every written value survived, whatever sequence it drew.
+        let mut values: Vec<u64> = snap.iter().map(|(_, v)| *v).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![10, 20]);
+    })
+}
+
+/// At capacity the ring keeps exactly the newest `capacity` events and
+/// counts drops exactly: 4 events through 2 slots leave sequences
+/// {2, 3} and `dropped() == 2` under **every** interleaving — the
+/// seq-guard means even a lapped writer scheduled last cannot resurrect
+/// an old event.
+pub fn trace_ring_overwrite_model() -> Stats {
+    check_with(bounds(), || {
+        let ring = Arc::new(MiniRing::new(2));
+        let writers: Vec<_> = [10u64, 20u64]
+            .into_iter()
+            .map(|base| {
+                let r = ring.clone();
+                thread::spawn(move || {
+                    r.push(base);
+                    r.push(base + 1);
+                })
+            })
+            .collect();
+        assert_snapshot_sane(&ring.snapshot_since(0), 2);
+        for w in writers {
+            w.join();
+        }
+        let snap = ring.snapshot_since(0);
+        let seqs: Vec<u64> = snap.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![2, 3], "ring must keep exactly the newest events");
+        assert_eq!(ring.dropped(), 2, "drop counter must be exact");
+        // A window query that starts after the drop horizon sees only
+        // its own events.
+        assert_eq!(ring.snapshot_since(3).len(), 1);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +554,20 @@ mod tests {
     #[test]
     fn leader_failure_does_not_poison() {
         let stats = leader_failure_model();
+        assert!(stats.complete, "exploration hit the schedule cap");
+        assert!(stats.schedules >= 2, "expected multiple interleavings");
+    }
+
+    #[test]
+    fn trace_ring_loses_nothing_below_capacity() {
+        let stats = trace_ring_model();
+        assert!(stats.complete, "exploration hit the schedule cap");
+        assert!(stats.schedules >= 2, "expected multiple interleavings");
+    }
+
+    #[test]
+    fn trace_ring_overwrite_keeps_newest_and_counts_drops_exactly() {
+        let stats = trace_ring_overwrite_model();
         assert!(stats.complete, "exploration hit the schedule cap");
         assert!(stats.schedules >= 2, "expected multiple interleavings");
     }

@@ -145,12 +145,62 @@ impl fmt::Display for Report {
 
 /// Verify a plan that may legitimately contain synchronous `EVScan`s
 /// (e.g. `ExecutionMode::Synchronous` output).
+///
+/// ```
+/// use wsq_analyze::verify;
+/// use wsq_common::Value;
+/// use wsq_engine::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, VTableKind};
+///
+/// // The minimal legal asynchronous plan: an AEVScan producing a
+/// // placeholder Count, patched by a covering ReqSync above it.
+/// let spec = EvSpec {
+///     kind: VTableKind::WebCount,
+///     engine: "AV".into(),
+///     alias: "WebCount".into(),
+///     template: None,
+///     bindings: vec![EvBinding::Const(Value::from("Utah"))],
+///     rank_limit: 19,
+///     supports_near: true,
+/// };
+/// let plan = PhysPlan::ReqSync {
+///     attrs: spec.external_attrs(),
+///     input: Box::new(PhysPlan::AEVScan(spec)),
+///     mode: BufferMode::Full,
+/// };
+/// let report = verify(&plan).expect("plan is placeholder-safe");
+/// assert_eq!((report.aev_scans, report.req_syncs), (1, 1));
+///
+/// // Strip the ReqSync and the placeholder escapes the root.
+/// let PhysPlan::ReqSync { input: bare, .. } = plan else { unreachable!() };
+/// assert!(verify(&bare).is_err());
+/// ```
 pub fn verify(plan: &PhysPlan) -> Result<Report, VerifyError> {
     verify_inner(plan, false)
 }
 
 /// Verify the output of `asyncify`: everything [`verify`] checks, plus
 /// no synchronous `EVScan` may remain.
+///
+/// ```
+/// use wsq_analyze::{verify, verify_async, Rule};
+/// use wsq_common::Value;
+/// use wsq_engine::plan::{EvBinding, EvSpec, PhysPlan, VTableKind};
+///
+/// // A blocking EVScan has no placeholders, so plain `verify` accepts
+/// // it — but it must not survive asyncification.
+/// let plan = PhysPlan::EVScan(EvSpec {
+///     kind: VTableKind::WebCount,
+///     engine: "AV".into(),
+///     alias: "WebCount".into(),
+///     template: None,
+///     bindings: vec![EvBinding::Const(Value::from("Utah"))],
+///     rank_limit: 19,
+///     supports_near: true,
+/// });
+/// assert!(verify(&plan).is_ok());
+/// let err = verify_async(&plan).unwrap_err();
+/// assert_eq!(err.violations[0].rule, Rule::SyncScanInAsyncPlan);
+/// ```
 pub fn verify_async(plan: &PhysPlan) -> Result<Report, VerifyError> {
     verify_inner(plan, true)
 }

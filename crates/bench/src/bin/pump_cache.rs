@@ -18,8 +18,9 @@ use wsq_bench::fastpath::{
     SpinService, Workload, STORM_KEYS,
 };
 use wsq_common::CallId;
+use wsq_obs::Obs;
 use wsq_pump::{PumpConfig, ReqPump, SearchService};
-use wsq_websim::CachedService;
+use wsq_websim::{CacheConfig, CachedService};
 
 struct Measurement {
     workload: &'static str,
@@ -91,6 +92,55 @@ fn verify_single_flight(threads: usize, ops: usize) -> SingleFlight {
         coalesced: stats.coalesced,
         coarse_inner_calls: coarse_inner.calls(),
         verified,
+    }
+}
+
+struct ObsAblation {
+    threads: usize,
+    baseline_ms: f64,
+    disabled_ms: f64,
+    enabled_ms: f64,
+    /// Disabled-obs run vs its baseline A/A re-run: run-to-run noise
+    /// plus the no-op sink's null check, budgeted at under 2%.
+    disabled_delta_pct: f64,
+    /// Enabled-obs run vs the disabled run: the cost of live counters,
+    /// histograms and trace-ring writes.
+    enabled_overhead_pct: f64,
+    /// `Obs::json_snapshot` of the enabled run's registry.
+    metrics_json: String,
+}
+
+/// The observability overhead ablation: the duplicate-miss storm (hits,
+/// misses and coalesced waits all on the hot path) run three times —
+/// twice with a disabled `Obs` handle (an A/A pair whose delta is the
+/// measurement noise floor) and once with a live registry. The disabled
+/// path must stay within the 2% budget of its own re-run; the enabled
+/// delta on top of that is the true cost of counters and histograms.
+fn measure_obs_ablation(threads: usize, ops: usize, rounds: usize) -> ObsAblation {
+    let run = |obs: Obs| -> f64 {
+        let cache: Arc<dyn SearchService> =
+            CachedService::with_config_obs(SpinService::new(2_000), CacheConfig::default(), obs);
+        let mut samples: Vec<f64> = (0..rounds)
+            .map(|round| {
+                run_cache_workload(cache.clone(), Workload::DuplicateMiss, threads, ops, round)
+                    .as_secs_f64()
+                    * 1e3
+            })
+            .collect();
+        median(&mut samples)
+    };
+    let baseline_ms = run(Obs::disabled());
+    let disabled_ms = run(Obs::disabled());
+    let obs = Obs::enabled();
+    let enabled_ms = run(obs.clone());
+    ObsAblation {
+        threads,
+        baseline_ms,
+        disabled_ms,
+        enabled_ms,
+        disabled_delta_pct: (disabled_ms - baseline_ms) / baseline_ms * 100.0,
+        enabled_overhead_pct: (enabled_ms - disabled_ms) / disabled_ms * 100.0,
+        metrics_json: obs.json_snapshot(),
     }
 }
 
@@ -176,6 +226,9 @@ fn main() {
         pump_rows.push((threads, measure_pump_churn(threads, 32, rounds)));
     }
 
+    eprintln!("... obs overhead ablation");
+    let obs = measure_obs_ablation(*thread_counts.last().unwrap(), ops, rounds);
+
     // Render the report.
     println!(
         "{:<16}{:>8}{:>10}{:>12}{:>14}",
@@ -195,6 +248,16 @@ fn main() {
     for (threads, ms) in &pump_rows {
         println!("pump churn x{threads}: {ms:.3} ms");
     }
+    println!(
+        "obs ablation x{}: baseline {:.3} ms, disabled {:.3} ms ({:+.2}%), \
+         enabled {:.3} ms ({:+.2}%)",
+        obs.threads,
+        obs.baseline_ms,
+        obs.disabled_ms,
+        obs.disabled_delta_pct,
+        obs.enabled_ms,
+        obs.enabled_overhead_pct,
+    );
 
     // Speedups of sharded over coarse per (workload, threads).
     let speedup = |wname: &str, threads: usize| -> f64 {
@@ -259,7 +322,22 @@ fn main() {
             if i + 1 == pump_rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"obs_ablation\": {{\"threads\": {}, \"baseline_ms\": {}, \
+         \"disabled_ms\": {}, \"enabled_ms\": {}, \"disabled_delta_pct\": {}, \
+         \"enabled_overhead_pct\": {}}},\n",
+        obs.threads,
+        json_f(obs.baseline_ms),
+        json_f(obs.disabled_ms),
+        json_f(obs.enabled_ms),
+        json_f(obs.disabled_delta_pct),
+        json_f(obs.enabled_overhead_pct),
+    ));
+    // Registry snapshot from the obs-enabled ablation run, so a bench
+    // artifact also records what the workload did (hits, misses,
+    // coalesced waits) — not just how fast it did it.
+    out.push_str(&format!("  \"metrics\": {}\n}}\n", obs.metrics_json));
 
     std::fs::write("BENCH_pump_cache.json", &out).expect("write BENCH_pump_cache.json");
     eprintln!("wrote BENCH_pump_cache.json");

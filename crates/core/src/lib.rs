@@ -33,6 +33,7 @@ use std::sync::Arc;
 use wsq_common::{Result, Tuple, Value, WsqError};
 use wsq_engine::db::Database;
 use wsq_engine::engines::EngineRegistry;
+use wsq_obs::Obs;
 use wsq_pump::{PumpConfig, ReqPump, SearchService};
 use wsq_websim::{CacheConfig, CachedService, CorpusConfig, EngineKind, LatencyModel, SimWeb};
 
@@ -52,6 +53,11 @@ pub struct WsqConfig {
     /// Tuning for the result cache (shard count, LRU capacity, TTL);
     /// only consulted when `cache` is set.
     pub cache_tuning: CacheConfig,
+    /// Collect call-lifecycle traces and metrics (DESIGN.md §10). On by
+    /// default: the facade is the interactive surface where `.stats`,
+    /// `.trace`, and the ANALYZE trace footer live. Set `false` for a
+    /// true no-op sink (verified <2% overhead by the bench ablation).
+    pub obs: bool,
 }
 
 impl Default for WsqConfig {
@@ -63,6 +69,7 @@ impl Default for WsqConfig {
             query: QueryOptions::default(),
             cache: false,
             cache_tuning: CacheConfig::default(),
+            obs: true,
         }
     }
 }
@@ -97,6 +104,7 @@ pub struct Wsq {
     opts: QueryOptions,
     web: SimWeb,
     caches: HashMap<String, Arc<CachedService>>,
+    obs: Obs,
 }
 
 impl Wsq {
@@ -105,7 +113,16 @@ impl Wsq {
         // placeholder-dataflow verifier (see `wsq_engine::verify_gate`).
         wsq_analyze::install_plan_gate();
         let web = SimWeb::build(config.corpus.clone());
-        let pump = ReqPump::new(config.pump.clone());
+        // One obs handle shared by the pump, the engine operators (which
+        // reach it through `ReqPump::obs`), and the service decorators.
+        let obs = if config.obs {
+            Obs::enabled()
+        } else {
+            Obs::disabled()
+        };
+        let mut pump_config = config.pump.clone();
+        pump_config.obs = obs.clone();
+        let pump = ReqPump::new(pump_config);
         let mut wsq = Wsq {
             db,
             engines: EngineRegistry::new(),
@@ -113,6 +130,7 @@ impl Wsq {
             opts: config.query,
             web,
             caches: HashMap::new(),
+            obs,
         };
         // The paper's two engines: AltaVista (NEAR) and Google (AND).
         let av = wsq
@@ -145,7 +163,7 @@ impl Wsq {
         cache: Option<&CacheConfig>,
     ) {
         let service: Arc<dyn SearchService> = if let Some(tuning) = cache {
-            let cached = CachedService::with_config(service, tuning.clone());
+            let cached = CachedService::with_config_obs(service, tuning.clone(), self.obs.clone());
             self.caches.insert(name.to_string(), cached.clone());
             cached
         } else {
@@ -174,6 +192,18 @@ impl Wsq {
 
     /// Execute a single SELECT and return its rows.
     pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        // Lightweight per-query metrics (no trace-ring snapshot): the
+        // full QueryWindow summary is reserved for analyze/trace_query.
+        let started = self.obs.is_enabled().then(std::time::Instant::now);
+        let result = self.query_inner(sql);
+        if let (Some(t0), Some(m)) = (started, self.obs.metrics()) {
+            m.queries.inc();
+            m.query_latency.observe(t0.elapsed());
+        }
+        result
+    }
+
+    fn query_inner(&mut self, sql: &str) -> Result<QueryResult> {
         let mut results = self.execute(sql)?;
         if results.len() != 1 {
             return Err(WsqError::Plan(format!(
@@ -216,9 +246,15 @@ impl Wsq {
         match wsq_sql::parse_one(sql)? {
             wsq_sql::Statement::Select(sel) => {
                 let before = self.cache_stats();
+                let window = self.obs.begin_query();
                 let (result, mut report) =
                     self.db
                         .analyze_query(&sel, &self.engines, &self.pump, self.opts)?;
+                // Per-query latency distribution + concurrency high-water
+                // from the metrics registry and the trace window.
+                if let Some(summary) = window.finish(&self.obs) {
+                    report.push_str(&format!("-- trace: {summary}\n"));
+                }
                 // Append per-engine cache deltas after the pump footer.
                 let mut engines: Vec<&String> = self.caches.keys().collect();
                 engines.sort();
@@ -283,6 +319,34 @@ impl Wsq {
     /// The request pump.
     pub fn pump(&self) -> &Arc<ReqPump> {
         &self.pump
+    }
+
+    /// The observability handle (disabled unless `WsqConfig::obs`).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Prometheus text-format dump of the metrics registry (empty when
+    /// observability is off).
+    pub fn metrics_text(&self) -> String {
+        self.obs.prometheus_text()
+    }
+
+    /// JSON snapshot of the metrics registry (`"{}"` when off).
+    pub fn metrics_json(&self) -> String {
+        self.obs.json_snapshot()
+    }
+
+    /// Run a SELECT and return its rows plus the rendered per-call trace
+    /// timeline (the REPL's `.trace` command): every call's registered →
+    /// queued → launched → completed → delivered → patched lifecycle with
+    /// timestamps. The timeline is empty when observability is off.
+    pub fn trace_query(&mut self, sql: &str) -> Result<(QueryResult, String)> {
+        let pos = self.obs.trace_position();
+        let result = self.query(sql)?;
+        let events = self.obs.trace_events_since(pos);
+        let dropped = self.obs.trace().map_or(0, |t| t.dropped());
+        Ok((result, wsq_obs::render_timeline(&events, dropped)))
     }
 
     /// The engine registry.
@@ -549,6 +613,98 @@ mod tests {
             .analyze("SELECT Count FROM WebCount WHERE T1 = 'Texas'")
             .unwrap();
         assert!(report.contains("-- verify: ok"), "{report}");
+    }
+
+    #[test]
+    fn analyze_appends_trace_summary_from_registry() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        let (_, report) = wsq
+            .analyze(
+                "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                 ORDER BY Count DESC, Name LIMIT 5",
+            )
+            .unwrap();
+        let trace_line = report
+            .lines()
+            .find(|l| l.starts_with("-- trace:"))
+            .unwrap_or_else(|| panic!("no trace footer in:\n{report}"));
+        // All 50 calls completed within the analyzed window, with the
+        // latency quantiles and concurrency high-water filled in.
+        assert!(trace_line.contains("calls=50"), "{trace_line}");
+        assert!(trace_line.contains("call_p50="), "{trace_line}");
+        assert!(trace_line.contains("call_p95="), "{trace_line}");
+        assert!(!trace_line.contains("call_p50=-"), "{trace_line}");
+        let max_concurrent: i64 = trace_line
+            .split("max_concurrent=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(max_concurrent >= 1, "{trace_line}");
+
+        // Observability off: no trace footer, and no registry output.
+        let mut quiet = Wsq::open_in_memory(WsqConfig {
+            obs: false,
+            ..WsqConfig::fast()
+        })
+        .unwrap();
+        quiet.load_reference_data().unwrap();
+        let (_, report) = quiet
+            .analyze("SELECT Count FROM WebCount WHERE T1 = 'Texas'")
+            .unwrap();
+        assert!(!report.contains("-- trace:"), "{report}");
+        assert_eq!(quiet.metrics_text(), "");
+        assert_eq!(quiet.metrics_json(), "{}");
+    }
+
+    #[test]
+    fn trace_query_renders_full_call_timelines() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        wsq.load_reference_data().unwrap();
+        let (result, timeline) = wsq
+            .trace_query(
+                "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                 ORDER BY Count DESC, Name LIMIT 3",
+            )
+            .unwrap();
+        assert_eq!(result.rows.len(), 3);
+        // Every call's lifecycle is visible, labelled with its request.
+        for stage in ["registered", "queued", "launched", "completed", "patched"] {
+            assert!(timeline.contains(stage), "missing {stage} in:\n{timeline}");
+        }
+        assert!(timeline.contains("AV:count"), "{timeline}");
+        assert!(timeline.contains("50 calls"), "{timeline}");
+    }
+
+    #[test]
+    fn metrics_exposition_covers_the_query_lifecycle() {
+        let mut wsq = Wsq::open_in_memory(WsqConfig {
+            cache: true,
+            ..WsqConfig::fast()
+        })
+        .unwrap();
+        wsq.load_reference_data().unwrap();
+        let sql = "SELECT Count FROM WebCount WHERE T1 = 'Utah'";
+        wsq.query(sql).unwrap();
+        wsq.query(sql).unwrap();
+        let text = wsq.metrics_text();
+        for metric in [
+            "wsq_calls_registered_total 2",
+            "wsq_calls_completed_total 2",
+            "wsq_placeholder_tuples_total 2",
+            "wsq_tuples_patched_total 2",
+            "wsq_cache_hits_total 1",
+            "wsq_cache_misses_total 1",
+            "wsq_queries_total 2",
+            "wsq_calls_in_flight 0",
+            "wsq_call_latency_seconds_count 2",
+        ] {
+            assert!(text.contains(metric), "missing `{metric}` in:\n{text}");
+        }
+        let json = wsq.metrics_json();
+        assert!(json.contains("\"wsq_queries_total\":2"), "{json}");
+        assert!(json.contains("\"trace\":{"), "{json}");
     }
 
     #[test]

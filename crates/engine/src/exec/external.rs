@@ -197,6 +197,9 @@ impl Executor for AEVScanExec {
         }
         let expr = self.spec.instantiate(&self.bindings);
         let call: CallId = self.pump.register(request_for(&self.spec, expr.clone()))?;
+        if let Some(m) = self.pump.obs().metrics() {
+            m.placeholder_tuples.inc();
+        }
         let mut vals = prefix_values(&expr, &self.bindings);
         let ph = |col: PendingCol| Value::Pending(Placeholder { call, col });
         match self.spec.kind {

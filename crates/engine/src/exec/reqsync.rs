@@ -17,7 +17,9 @@ use super::Executor;
 use crate::plan::BufferMode;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 use wsq_common::{CallId, PendingCol, Result, Schema, Tuple, Value};
+use wsq_obs::{EventKind, Obs};
 use wsq_pump::{ReqPump, SearchResult};
 
 struct BufTuple {
@@ -25,12 +27,15 @@ struct BufTuple {
     /// Calls whose pump registration this tuple is responsible for
     /// releasing (copies own nothing unless explicitly transferred).
     owns: Vec<CallId>,
+    /// When the tuple entered the buffer (patch-delay histogram anchor).
+    admitted: Instant,
 }
 
 /// The request synchronizer executor.
 pub struct ReqSyncExec {
     child: Box<dyn Executor>,
     pump: Arc<ReqPump>,
+    obs: Obs,
     mode: BufferMode,
     schema: Schema,
     /// Completed tuples awaiting emission.
@@ -48,9 +53,11 @@ impl ReqSyncExec {
     /// Synchronize `child`'s placeholder tuples against `pump`.
     pub fn new(child: Box<dyn Executor>, pump: Arc<ReqPump>, mode: BufferMode) -> Self {
         let schema = child.schema().clone();
+        let obs = pump.obs().clone();
         ReqSyncExec {
             child,
             pump,
+            obs,
             mode,
             schema,
             ready: VecDeque::new(),
@@ -73,7 +80,17 @@ impl ReqSyncExec {
         for &c in &calls {
             self.index.entry(c).or_default().push(id);
         }
-        self.buffered.insert(id, BufTuple { tuple, owns: calls });
+        if let Some(m) = self.obs.metrics() {
+            m.reqsync_buffered.add(1);
+        }
+        self.buffered.insert(
+            id,
+            BufTuple {
+                tuple,
+                owns: calls,
+                admitted: Instant::now(),
+            },
+        );
     }
 
     /// Remove a tuple id from the index lists of `calls`, dropping lists
@@ -96,11 +113,16 @@ impl ReqSyncExec {
         let Some(ids) = self.index.remove(&call) else {
             return Ok(());
         };
+        self.obs.event(call, EventKind::Delivered);
         for id in ids {
             // Stale ids (tuple already cancelled/rewritten) are skipped.
             let Some(entry) = self.buffered.remove(&id) else {
                 continue;
             };
+            if let Some(m) = self.obs.metrics() {
+                m.reqsync_buffered.add(-1);
+                m.patch_delay.observe(entry.admitted.elapsed());
+            }
             // Drop this tuple's entries under its *other* pending calls;
             // readmitted descendants are indexed afresh.
             let others: Vec<CallId> = entry
@@ -110,7 +132,9 @@ impl ReqSyncExec {
                 .filter(|c| *c != call)
                 .collect();
             self.unindex(id, &others);
-            let BufTuple { tuple, mut owns } = entry;
+            let BufTuple {
+                tuple, mut owns, ..
+            } = entry;
             let owned_here = owns.iter().position(|c| *c == call).map(|i| {
                 owns.remove(i);
             });
@@ -132,10 +156,18 @@ impl ReqSyncExec {
                         PendingCol::Count => Some(Value::Int(*n as i64)),
                         _ => None,
                     });
+                    self.obs.event(call, EventKind::Patched);
+                    if let Some(m) = self.obs.metrics() {
+                        m.tuples_patched.inc();
+                    }
                     self.readmit(t, owns);
                 }
                 Ok(SearchResult::Pages(hits)) => {
                     if hits.is_empty() {
+                        self.obs.event(call, EventKind::TupleCancelled);
+                        if let Some(m) = self.obs.metrics() {
+                            m.tuples_cancelled.inc();
+                        }
                         // §4.3 case 1: cancel the tuple; release any other
                         // calls it owned (their values are no longer
                         // needed by this tuple — other tuples referencing
@@ -148,6 +180,10 @@ impl ReqSyncExec {
                         // Cases 2 and 3: one patched tuple per hit. The
                         // first copy inherits ownership of the remaining
                         // calls; the rest own nothing (§4.4).
+                        self.obs.event(call, EventKind::Patched);
+                        if let Some(m) = self.obs.metrics() {
+                            m.tuples_patched.add(hits.len() as u64);
+                        }
                         for (i, hit) in hits.iter().enumerate() {
                             let mut t = tuple.clone();
                             fill(&mut t, call, |col| match col {
@@ -181,7 +217,17 @@ impl ReqSyncExec {
         for c in tuple.pending_calls() {
             self.index.entry(c).or_default().push(id);
         }
-        self.buffered.insert(id, BufTuple { tuple, owns });
+        if let Some(m) = self.obs.metrics() {
+            m.reqsync_buffered.add(1);
+        }
+        self.buffered.insert(
+            id,
+            BufTuple {
+                tuple,
+                owns,
+                admitted: Instant::now(),
+            },
+        );
     }
 
     /// Opportunistically patch any already-completed pending calls.
@@ -233,6 +279,9 @@ impl Executor for ReqSyncExec {
 
     fn open(&mut self) -> Result<()> {
         self.ready.clear();
+        if let Some(m) = self.obs.metrics() {
+            m.reqsync_buffered.add(-(self.buffered.len() as i64));
+        }
         self.buffered.clear();
         self.index.clear();
         self.child_done = false;
@@ -293,6 +342,9 @@ impl Executor for ReqSyncExec {
     fn close(&mut self) -> Result<()> {
         // Release every registration still owned by buffered tuples (the
         // query may have been cut short by a LIMIT above us).
+        if let Some(m) = self.obs.metrics() {
+            m.reqsync_buffered.add(-(self.buffered.len() as i64));
+        }
         for (_, entry) in self.buffered.drain() {
             for c in entry.owns {
                 self.pump.release(c);

@@ -1,0 +1,560 @@
+//! The metrics registry: atomic counters, gauges with high-water marks,
+//! and fixed-bucket latency histograms.
+//!
+//! Hot paths never take a lock: every instrument is a handful of atomics
+//! behind an `Arc`, and emitters hold the `Arc` directly (the registry
+//! map is only locked at registration and exposition time). Histograms
+//! use a fixed logarithmic bucket ladder ([`BUCKET_BOUNDS_US`]) so an
+//! `observe` is one array index plus three `fetch_add`s, and snapshots
+//! of two points in time can be subtracted to get an exact per-window
+//! distribution (see [`HistogramSnapshot::delta`]).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value (in-flight calls, queue depth, buffer
+/// occupancy) that additionally tracks its high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    high: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Add `delta` (may be negative) and update the high-water mark.
+    pub fn add(&self, delta: i64) {
+        let v = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Set the gauge to `v` outright (still tracks the high-water mark).
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value seen since construction or the last
+    /// [`Gauge::reset_high_water`].
+    pub fn high_water(&self) -> i64 {
+        self.high.load(Ordering::Relaxed)
+    }
+
+    /// Reset the high-water mark to the current value, returning the old
+    /// mark. Used to scope "max concurrent" readings to one query; with
+    /// overlapping queries the mark is shared (documented in DESIGN §10).
+    pub fn reset_high_water(&self) -> i64 {
+        self.high
+            .swap(self.value.load(Ordering::Relaxed), Ordering::Relaxed)
+    }
+}
+
+/// Histogram bucket upper bounds in **microseconds** (a logarithmic
+/// 1–2.5–5 ladder from 50µs to 5s). Values above the last bound land in
+/// the overflow bucket, so there are `BUCKET_BOUNDS_US.len() + 1`
+/// buckets in total.
+pub const BUCKET_BOUNDS_US: [u64; 16] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+/// Total number of buckets, including the overflow bucket.
+pub const BUCKET_COUNT: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// The bucket index a duration falls into.
+pub fn bucket_index(d: Duration) -> usize {
+    let us = d.as_micros() as u64;
+    BUCKET_BOUNDS_US
+        .iter()
+        .position(|&b| us <= b)
+        .unwrap_or(BUCKET_BOUNDS_US.len())
+}
+
+/// A fixed-bucket latency histogram with atomic cells.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        let nanos = d.as_nanos() as u64;
+        self.buckets[bucket_index(d)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the cells.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`]'s cells; supports window arithmetic
+/// and quantile estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`BUCKET_COUNT`] cells; the last is
+    /// the overflow bucket).
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed durations, in nanoseconds.
+    pub sum_nanos: u64,
+    /// Largest single observation, in nanoseconds. **Not** window-scoped:
+    /// [`HistogramSnapshot::delta`] keeps the later snapshot's lifetime
+    /// maximum (bucket cells, count and sum are exact per window).
+    pub max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+        }
+    }
+
+    /// The observations recorded between `earlier` and `self` (cells are
+    /// monotone, so plain subtraction is exact; `max_nanos` is carried
+    /// from `self` — see the field docs).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum_nanos: self.sum_nanos.saturating_sub(earlier.sum_nanos),
+            max_nanos: self.max_nanos,
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket containing the target rank. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lo = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] };
+                let hi = BUCKET_BOUNDS_US.get(i).copied().unwrap_or_else(|| {
+                    // Overflow bucket: bound it by the observed maximum.
+                    (self.max_nanos / 1_000).max(lo)
+                });
+                let frac = (target - seen) as f64 / n as f64;
+                let us = lo as f64 + (hi.saturating_sub(lo)) as f64 * frac;
+                return Some(Duration::from_nanos((us * 1_000.0) as u64));
+            }
+            seen += n;
+        }
+        Some(Duration::from_nanos(self.max_nanos))
+    }
+
+    /// Mean observation, `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        self.sum_nanos
+            .checked_div(self.count)
+            .map(Duration::from_nanos)
+    }
+}
+
+/// One registered instrument (for exposition walks).
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A monotone counter.
+    Counter(Arc<Counter>),
+    /// An instantaneous gauge.
+    Gauge(Arc<Gauge>),
+    /// A latency histogram.
+    Histogram(Arc<Histogram>),
+}
+
+/// A named, documented instrument as stored in the registry.
+#[derive(Debug, Clone)]
+pub struct Registered {
+    /// Exposition name (Prometheus conventions, e.g.
+    /// `wsq_calls_launched_total`).
+    pub name: &'static str,
+    /// One-line help string.
+    pub help: &'static str,
+    /// The instrument itself.
+    pub metric: Metric,
+}
+
+/// The registry: name → instrument. Locked only at registration and
+/// exposition time; emitters keep `Arc` handles to the instruments.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<&'static str, Registered>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register (or fetch) a counter under `name`.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let mut map = self.metrics.lock();
+        let entry = map.entry(name).or_insert_with(|| Registered {
+            name,
+            help,
+            metric: Metric::Counter(Arc::new(Counter::new())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} registered with a different type"),
+        }
+    }
+
+    /// Register (or fetch) a gauge under `name`.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock();
+        let entry = map.entry(name).or_insert_with(|| Registered {
+            name,
+            help,
+            metric: Metric::Gauge(Arc::new(Gauge::new())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} registered with a different type"),
+        }
+    }
+
+    /// Register (or fetch) a histogram under `name`.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock();
+        let entry = map.entry(name).or_insert_with(|| Registered {
+            name,
+            help,
+            metric: Metric::Histogram(Arc::new(Histogram::new())),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} registered with a different type"),
+        }
+    }
+
+    /// All registered instruments, name-ordered.
+    pub fn list(&self) -> Vec<Registered> {
+        self.metrics.lock().values().cloned().collect()
+    }
+}
+
+/// Direct handles to every well-known instrument, pre-registered by
+/// [`crate::Obs::enabled`] so hot paths never touch the registry map.
+#[derive(Debug)]
+pub struct WellKnown {
+    /// External calls registered with the pump (incl. coalesced).
+    pub calls_registered: Arc<Counter>,
+    /// Registrations satisfied by attaching to an in-flight call.
+    pub calls_coalesced: Arc<Counter>,
+    /// Calls actually launched to a service.
+    pub calls_launched: Arc<Counter>,
+    /// Calls completed successfully.
+    pub calls_completed: Arc<Counter>,
+    /// Calls completed with an error.
+    pub calls_failed: Arc<Counter>,
+    /// Calls cancelled while still queued (released before launch).
+    pub calls_cancelled: Arc<Counter>,
+    /// Result-cache hits (ready entries plus coalesced followers).
+    pub cache_hits: Arc<Counter>,
+    /// Result-cache misses (inner-service invocations).
+    pub cache_misses: Arc<Counter>,
+    /// Cache followers that waited on an in-flight identical miss.
+    pub cache_coalesced: Arc<Counter>,
+    /// Retry attempts beyond the first (RetryService).
+    pub retries: Arc<Counter>,
+    /// Requests failed by injection (FlakyService).
+    pub flaky_failures: Arc<Counter>,
+    /// Placeholder tuples emitted by AEVScan operators.
+    pub placeholder_tuples: Arc<Counter>,
+    /// Buffered tuples patched with completed-call values by ReqSync.
+    pub tuples_patched: Arc<Counter>,
+    /// Buffered tuples cancelled by an empty external result.
+    pub tuples_cancelled: Arc<Counter>,
+    /// Queries executed through the facade.
+    pub queries: Arc<Counter>,
+    /// Calls currently in flight (gauge; high-water = max concurrency).
+    pub in_flight: Arc<Gauge>,
+    /// Calls waiting for launch capacity.
+    pub queue_depth: Arc<Gauge>,
+    /// Incomplete tuples buffered across live ReqSync operators.
+    pub reqsync_buffered: Arc<Gauge>,
+    /// Launch → completion latency per call.
+    pub call_latency: Arc<Histogram>,
+    /// Registration → launch delay per call (capacity wait).
+    pub queue_delay: Arc<Histogram>,
+    /// Tuple admission → patch delay in ReqSync.
+    pub patch_delay: Arc<Histogram>,
+    /// End-to-end wall time per query.
+    pub query_latency: Arc<Histogram>,
+}
+
+impl WellKnown {
+    /// Register every well-known instrument in `registry` and return the
+    /// handle set.
+    pub fn register(registry: &Registry) -> WellKnown {
+        WellKnown {
+            calls_registered: registry.counter(
+                "wsq_calls_registered_total",
+                "External calls registered with the pump (incl. coalesced)",
+            ),
+            calls_coalesced: registry.counter(
+                "wsq_calls_coalesced_total",
+                "Registrations satisfied by attaching to an in-flight call",
+            ),
+            calls_launched: registry.counter(
+                "wsq_calls_launched_total",
+                "Calls actually launched to a service",
+            ),
+            calls_completed: registry
+                .counter("wsq_calls_completed_total", "Calls completed successfully"),
+            calls_failed: registry
+                .counter("wsq_calls_failed_total", "Calls completed with an error"),
+            calls_cancelled: registry.counter(
+                "wsq_calls_cancelled_total",
+                "Calls cancelled while still queued",
+            ),
+            cache_hits: registry.counter("wsq_cache_hits_total", "Result-cache hits"),
+            cache_misses: registry.counter(
+                "wsq_cache_misses_total",
+                "Result-cache misses (inner-service invocations)",
+            ),
+            cache_coalesced: registry.counter(
+                "wsq_cache_coalesced_total",
+                "Cache followers that waited on an in-flight identical miss",
+            ),
+            retries: registry.counter(
+                "wsq_retries_total",
+                "Retry attempts beyond the first (RetryService)",
+            ),
+            flaky_failures: registry.counter(
+                "wsq_flaky_failures_total",
+                "Requests failed by injection (FlakyService)",
+            ),
+            placeholder_tuples: registry.counter(
+                "wsq_placeholder_tuples_total",
+                "Placeholder tuples emitted by AEVScan operators",
+            ),
+            tuples_patched: registry.counter(
+                "wsq_tuples_patched_total",
+                "Buffered tuples patched with completed-call values",
+            ),
+            tuples_cancelled: registry.counter(
+                "wsq_tuples_cancelled_total",
+                "Buffered tuples cancelled by an empty external result",
+            ),
+            queries: registry.counter("wsq_queries_total", "Queries executed through the facade"),
+            in_flight: registry.gauge(
+                "wsq_calls_in_flight",
+                "Calls currently in flight (high-water = max concurrency)",
+            ),
+            queue_depth: registry.gauge("wsq_queue_depth", "Calls waiting for launch capacity"),
+            reqsync_buffered: registry.gauge(
+                "wsq_reqsync_buffered",
+                "Incomplete tuples buffered across live ReqSync operators",
+            ),
+            call_latency: registry.histogram(
+                "wsq_call_latency_seconds",
+                "Launch-to-completion latency per external call",
+            ),
+            queue_delay: registry.histogram(
+                "wsq_queue_delay_seconds",
+                "Registration-to-launch delay per external call",
+            ),
+            patch_delay: registry.histogram(
+                "wsq_patch_delay_seconds",
+                "Tuple admission-to-patch delay in ReqSync",
+            ),
+            query_latency: registry.histogram(
+                "wsq_query_latency_seconds",
+                "End-to-end wall time per query",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.add(3);
+        g.add(2);
+        g.add(-4);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 5);
+        assert_eq!(g.reset_high_water(), 5);
+        assert_eq!(g.high_water(), 1);
+        g.set(7);
+        assert_eq!(g.high_water(), 7);
+    }
+
+    #[test]
+    fn bucket_index_ladder() {
+        assert_eq!(bucket_index(Duration::ZERO), 0);
+        assert_eq!(bucket_index(Duration::from_micros(50)), 0);
+        assert_eq!(bucket_index(Duration::from_micros(51)), 1);
+        assert_eq!(bucket_index(Duration::from_millis(1)), 4);
+        assert_eq!(bucket_index(Duration::from_secs(5)), BUCKET_COUNT - 2);
+        assert_eq!(bucket_index(Duration::from_secs(60)), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn histogram_records_exactly() {
+        let h = Histogram::new();
+        h.observe(Duration::from_micros(40)); // bucket 0
+        h.observe(Duration::from_millis(2)); // (1ms, 2.5ms] = bucket 5
+        h.observe(Duration::from_millis(2)); // bucket 5
+        h.observe(Duration::from_secs(30)); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[5], 2);
+        assert_eq!(s.buckets[BUCKET_COUNT - 1], 1);
+        assert_eq!(
+            s.sum_nanos,
+            Duration::from_micros(40).as_nanos() as u64
+                + 2 * Duration::from_millis(2).as_nanos() as u64
+                + Duration::from_secs(30).as_nanos() as u64
+        );
+        assert_eq!(s.max_nanos, Duration::from_secs(30).as_nanos() as u64);
+    }
+
+    #[test]
+    fn snapshot_delta_is_exact_per_window() {
+        let h = Histogram::new();
+        h.observe(Duration::from_millis(1));
+        let before = h.snapshot();
+        h.observe(Duration::from_millis(20));
+        h.observe(Duration::from_millis(20));
+        let window = h.snapshot().delta(&before);
+        assert_eq!(window.count, 2);
+        assert_eq!(window.buckets[bucket_index(Duration::from_millis(20))], 2);
+        assert_eq!(
+            window.sum_nanos,
+            2 * Duration::from_millis(20).as_nanos() as u64
+        );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(Duration::from_millis(2)); // (1, 2.5]ms bucket
+        }
+        h.observe(Duration::from_millis(400)); // (250, 500]ms bucket
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).unwrap();
+        assert!(p50 > Duration::from_millis(1) && p50 <= Duration::from_millis(2500));
+        let p99 = s.quantile(0.99).unwrap();
+        assert!(p99 <= Duration::from_millis(2500));
+        let p100 = s.quantile(1.0).unwrap();
+        assert!(p100 > Duration::from_millis(250));
+        assert!(HistogramSnapshot::empty().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn registry_returns_same_instrument_for_same_name() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.list().len(), 1);
+        r.gauge("g", "g");
+        r.histogram("h_seconds", "h");
+        assert_eq!(r.list().len(), 3);
+    }
+
+    #[test]
+    fn well_known_registers_all_instruments() {
+        let r = Registry::new();
+        let w = WellKnown::register(&r);
+        w.calls_registered.inc();
+        assert!(r.list().len() >= 20);
+        let names: Vec<&str> = r.list().iter().map(|m| m.name).collect();
+        assert!(names.contains(&"wsq_call_latency_seconds"));
+        assert!(names.contains(&"wsq_calls_in_flight"));
+    }
+}

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! **ReqPump** — the global module for managing asynchronous external calls
 //! (paper Section 4.1).
 //!

@@ -5,7 +5,7 @@
 //!
 //! Completion signalling is *targeted*: each [`ReqPump::wait_any`] caller
 //! registers an interest record for exactly the calls it waits on, and
-//! [`complete`] wakes only the waiters interested in the finished call —
+//! completion wakes only the waiters interested in the finished call —
 //! there is no broadcast condvar that every consumer re-checks on every
 //! completion. The wakeup carries the completed [`CallId`], so a woken
 //! waiter returns immediately instead of re-scanning its call set under
@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wsq_common::{CallId, Result, WsqError};
+use wsq_obs::{EventKind, Obs};
 
 /// How launched calls are driven to completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +51,9 @@ pub struct PumpConfig {
     pub coalesce: bool,
     /// Dispatcher choice.
     pub dispatch: DispatchMode,
+    /// Observability sink for call-lifecycle events and metrics
+    /// ([`Obs::disabled`] by default — a pure no-op).
+    pub obs: Obs,
 }
 
 impl Default for PumpConfig {
@@ -60,6 +64,7 @@ impl Default for PumpConfig {
             default_per_destination: 64,
             coalesce: true,
             dispatch: DispatchMode::EventLoop,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -156,6 +161,10 @@ struct CallMeta {
     req: SearchRequest,
     refs: usize,
     state: CallState,
+    /// When the call was registered (queue-delay histogram anchor).
+    registered_at: Instant,
+    /// When the call was launched, once it has been.
+    launched_at: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -249,12 +258,44 @@ impl ReqPump {
     ///
     /// With coalescing enabled, an identical request already known to the
     /// pump returns the existing id with its reference count bumped.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use wsq_pump::{
+    ///     ReqPump, RequestKind, SearchRequest, SearchResult, SearchService, ServiceReply,
+    /// };
+    ///
+    /// /// A toy engine: the "page count" is the expression's length.
+    /// struct Len;
+    /// impl SearchService for Len {
+    ///     fn execute(&self, req: &SearchRequest) -> ServiceReply {
+    ///         ServiceReply::instant(SearchResult::Count(req.expr.len() as u64))
+    ///     }
+    /// }
+    ///
+    /// let pump = ReqPump::with_service("AV", Arc::new(Len));
+    /// let call = pump.register(SearchRequest {
+    ///     engine: "AV".into(),
+    ///     expr: "Colorado".into(),
+    ///     kind: RequestKind::Count,
+    /// })?;
+    /// // `register` returned without waiting; the result arrives later.
+    /// assert_eq!(pump.wait(call)?.count(), Some(8));
+    /// pump.release(call); // every registrant releases its reference
+    /// # Ok::<(), wsq_common::WsqError>(())
+    /// ```
     pub fn register(&self, req: SearchRequest) -> Result<CallId> {
         let mut st = self.shared.state.lock();
         if st.shutdown {
             return Err(WsqError::PumpShutdown);
         }
+        let obs = &self.shared.config.obs;
         self.shared.stats.registered.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = obs.metrics() {
+            m.calls_registered.inc();
+        }
         if self.shared.config.coalesce {
             if let Some(&cid) = st.index.get(&req) {
                 // The index and meta maps are kept in step under the state
@@ -263,12 +304,17 @@ impl ReqPump {
                 if let Some(meta) = st.meta.get_mut(&cid) {
                     self.shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
                     meta.refs += 1;
+                    if let Some(m) = obs.metrics() {
+                        m.calls_coalesced.inc();
+                    }
+                    obs.event(cid, EventKind::Coalesced);
                     return Ok(cid);
                 }
             }
         }
         let cid = CallId(st.next_call);
         st.next_call += 1;
+        obs.event_with(cid, EventKind::Registered, || req.to_string().into());
 
         // Fail fast on unknown destinations: complete with an error. The
         // call id is brand new, so no waiter can be interested yet.
@@ -279,12 +325,18 @@ impl ReqPump {
                     req: req.clone(),
                     refs: 1,
                     state: CallState::Done,
+                    registered_at: Instant::now(),
+                    launched_at: None,
                 },
             );
             st.results.insert(
                 cid,
                 Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
             );
+            if let Some(m) = obs.metrics() {
+                m.calls_failed.inc();
+            }
+            obs.event(cid, EventKind::Failed);
             return Ok(cid);
         }
 
@@ -295,6 +347,8 @@ impl ReqPump {
                 req,
                 refs: 1,
                 state: CallState::Queued,
+                registered_at: Instant::now(),
+                launched_at: None,
             },
         );
         st.queue.push_back(cid);
@@ -303,6 +357,10 @@ impl ReqPump {
             .stats
             .peak_queued
             .fetch_max(queued, Ordering::Relaxed);
+        if let Some(m) = obs.metrics() {
+            m.queue_depth.add(1);
+        }
+        obs.event(cid, EventKind::Queued);
         drop(st);
         self.shared.work_cv.notify_all();
         Ok(cid)
@@ -408,6 +466,12 @@ impl ReqPump {
                 st.queue.retain(|&c| c != call);
                 st.meta.remove(&call);
                 st.index.remove(&req);
+                let obs = &self.shared.config.obs;
+                if let Some(m) = obs.metrics() {
+                    m.calls_cancelled.inc();
+                    m.queue_depth.add(-1);
+                }
+                obs.event(call, EventKind::Cancelled);
             }
             CallState::Done => {
                 let req = meta.req.clone();
@@ -430,6 +494,14 @@ impl ReqPump {
     /// pump state lock.
     pub fn stats(&self) -> PumpStats {
         self.shared.stats.snapshot()
+    }
+
+    /// The observability handle this pump was configured with
+    /// ([`Obs::disabled`] unless one was supplied via [`PumpConfig`]).
+    /// Engine operators clone this to emit delivery/patch events into the
+    /// same trace and metrics as the pump's own lifecycle events.
+    pub fn obs(&self) -> &Obs {
+        &self.shared.config.obs
     }
 
     /// Stop the dispatcher. Outstanding `wait` calls return
@@ -494,6 +566,9 @@ fn pop_launchable(st: &mut State, shared: &Shared) -> Option<CallId> {
     let cid = st.queue.remove(pos)?;
     let meta = st.meta.get_mut(&cid)?;
     meta.state = CallState::InFlight;
+    let now = Instant::now();
+    meta.launched_at = Some(now);
+    let queue_delay = now.saturating_duration_since(meta.registered_at);
     let dest = meta.req.engine.clone();
     st.active_total += 1;
     *st.active_per_dest.entry(dest).or_insert(0) += 1;
@@ -502,18 +577,29 @@ fn pop_launchable(st: &mut State, shared: &Shared) -> Option<CallId> {
         .stats
         .peak_in_flight
         .fetch_max(st.active_total as u64, Ordering::Relaxed);
+    let obs = &shared.config.obs;
+    if let Some(m) = obs.metrics() {
+        m.calls_launched.inc();
+        m.queue_depth.add(-1);
+        m.in_flight.add(1);
+        m.queue_delay.observe(queue_delay);
+    }
+    obs.event(cid, EventKind::Launched);
     Some(cid)
 }
 
 /// Mark a call complete, store its result, free its capacity, and wake
 /// exactly the waiters interested in it.
 fn complete(shared: &Shared, cid: CallId, result: Result<SearchResult>) {
+    let obs = &shared.config.obs;
     let waiters = {
         let mut st = shared.state.lock();
         st.active_total = st.active_total.saturating_sub(1);
+        let mut launched_at = None;
         let orphaned = match st.meta.get_mut(&cid) {
             Some(meta) => {
                 meta.state = CallState::Done;
+                launched_at = meta.launched_at;
                 let dest = meta.req.engine.clone();
                 let refs = meta.refs;
                 if let Some(n) = st.active_per_dest.get_mut(&dest) {
@@ -524,6 +610,20 @@ fn complete(shared: &Shared, cid: CallId, result: Result<SearchResult>) {
             None => true,
         };
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = obs.metrics() {
+            m.in_flight.add(-1);
+            if let Some(t) = launched_at {
+                m.call_latency.observe(t.elapsed());
+            }
+            match &result {
+                Ok(_) => m.calls_completed.inc(),
+                Err(_) => m.calls_failed.inc(),
+            }
+        }
+        match &result {
+            Ok(_) => obs.event(cid, EventKind::Completed),
+            Err(e) => obs.event_with(cid, EventKind::Failed, || e.to_string().into()),
+        }
         if orphaned {
             // Every registrant released before completion: drop everything.
             if let Some(meta) = st.meta.remove(&cid) {
@@ -587,7 +687,9 @@ fn event_loop(shared: Arc<Shared>) {
         for (cid, req) in launches {
             let service = shared.services.read().get(&req.engine).cloned();
             let reply = match service {
-                Some(svc) => svc.execute(&req),
+                // `call_scope` lets decorators (retry/flaky/cache) deep in
+                // the execute stack attribute their trace events to `cid`.
+                Some(svc) => wsq_obs::call_scope(cid, || svc.execute(&req)),
                 None => ServiceReply {
                     result: Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
                     latency: Duration::ZERO,
@@ -647,7 +749,7 @@ fn worker_loop(shared: Arc<Shared>) {
         };
         let service = shared.services.read().get(&req.engine).cloned();
         let reply = match service {
-            Some(svc) => svc.execute(&req),
+            Some(svc) => wsq_obs::call_scope(cid, || svc.execute(&req)),
             None => ServiceReply {
                 result: Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
                 latency: Duration::ZERO,

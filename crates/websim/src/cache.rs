@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wsq_common::Result;
+use wsq_obs::Obs;
 use wsq_pump::{SearchRequest, SearchResult, SearchService, ServiceReply};
 
 /// Tuning knobs for [`CachedService`].
@@ -129,8 +130,41 @@ enum Slot {
 type Shard = RwLock<HashMap<SearchRequest, Slot>>;
 
 /// A sharded, single-flight caching wrapper around a search service.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use wsq_pump::{RequestKind, SearchRequest, SearchResult, SearchService, ServiceReply};
+/// use wsq_websim::CachedService;
+///
+/// /// A slow "engine" whose result is the expression's length.
+/// struct Slow;
+/// impl SearchService for Slow {
+///     fn execute(&self, req: &SearchRequest) -> ServiceReply {
+///         ServiceReply {
+///             result: Ok(SearchResult::Count(req.expr.len() as u64)),
+///             latency: Duration::from_millis(10),
+///         }
+///     }
+/// }
+///
+/// let cached = CachedService::new(Arc::new(Slow));
+/// let req = SearchRequest {
+///     engine: "AV".into(),
+///     expr: "Colorado".into(),
+///     kind: RequestKind::Count,
+/// };
+/// let first = cached.execute(&req);
+/// assert_eq!(first.latency, Duration::from_millis(10)); // paid the network
+/// let second = cached.execute(&req);
+/// assert_eq!(second.latency, Duration::ZERO); // served locally
+/// assert_eq!(cached.stats().hits, 1);
+/// ```
 pub struct CachedService {
     inner: Arc<dyn SearchService>,
+    obs: Obs,
     shards: Box<[Shard]>,
     mask: usize,
     per_shard_capacity: Option<usize>,
@@ -153,10 +187,22 @@ impl CachedService {
 
     /// Wrap `inner` with explicit tuning.
     pub fn with_config(inner: Arc<dyn SearchService>, config: CacheConfig) -> Arc<Self> {
+        Self::with_config_obs(inner, config, Obs::disabled())
+    }
+
+    /// Wrap `inner` with explicit tuning and an observability sink: cache
+    /// hits/misses/coalesced waits are mirrored into the `wsq_cache_*`
+    /// registry counters (the local [`CacheStats`] are always kept).
+    pub fn with_config_obs(
+        inner: Arc<dyn SearchService>,
+        config: CacheConfig,
+        obs: Obs,
+    ) -> Arc<Self> {
         let shards = config.shards.max(1).next_power_of_two();
         let per_shard_capacity = config.capacity.map(|c| (c / shards).max(1));
         Arc::new(CachedService {
             inner,
+            obs,
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
             mask: shards - 1,
             per_shard_capacity,
@@ -267,6 +313,9 @@ impl CachedService {
     fn hit_reply(&self, ready: &Ready) -> ServiceReply {
         self.touch(ready);
         self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.obs.metrics() {
+            m.cache_hits.inc();
+        }
         ServiceReply {
             result: Ok(ready.result.clone()),
             latency: Duration::ZERO,
@@ -276,6 +325,9 @@ impl CachedService {
     /// Run the inner call as the flight's leader and publish the outcome.
     fn lead(&self, req: &SearchRequest, flight: &Arc<Flight>) -> ServiceReply {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.obs.metrics() {
+            m.cache_misses.inc();
+        }
         self.inflight.fetch_add(1, Ordering::Relaxed);
         let reply = self.inner.execute(req);
         self.inflight.fetch_sub(1, Ordering::Relaxed);
@@ -346,6 +398,10 @@ impl SearchService for CachedService {
                     drop(map);
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = self.obs.metrics() {
+                        m.cache_hits.inc();
+                        m.cache_coalesced.inc();
+                    }
                     ServiceReply {
                         result: flight.wait(),
                         latency: Duration::ZERO,

@@ -13,6 +13,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Duration;
 use wsq_common::WsqError;
+use wsq_obs::{EventKind, Obs};
 use wsq_pump::{SearchRequest, SearchService, ServiceReply};
 
 /// Failure-injection statistics.
@@ -31,16 +32,29 @@ pub struct FlakyService {
     failure_permille: u32,
     seed: u64,
     stats: Mutex<FlakyStats>,
+    obs: Obs,
 }
 
 impl FlakyService {
     /// Wrap `inner`, failing roughly `failure_permille`/1000 of requests.
     pub fn new(inner: Arc<dyn SearchService>, failure_permille: u32, seed: u64) -> Arc<Self> {
+        Self::with_obs(inner, failure_permille, seed, Obs::disabled())
+    }
+
+    /// Like [`FlakyService::new`], additionally mirroring injected
+    /// failures into the `wsq_flaky_failures_total` registry counter.
+    pub fn with_obs(
+        inner: Arc<dyn SearchService>,
+        failure_permille: u32,
+        seed: u64,
+        obs: Obs,
+    ) -> Arc<Self> {
         Arc::new(FlakyService {
             inner,
             failure_permille: failure_permille.min(1000),
             seed,
             stats: Mutex::new(FlakyStats::default()),
+            obs,
         })
     }
 
@@ -62,6 +76,9 @@ impl SearchService for FlakyService {
     fn execute(&self, req: &SearchRequest) -> ServiceReply {
         if self.would_fail(req) {
             self.stats.lock().failures += 1;
+            if let Some(m) = self.obs.metrics() {
+                m.flaky_failures.inc();
+            }
             return ServiceReply {
                 result: Err(WsqError::Search(format!(
                     "503 service unavailable for {req}"
@@ -82,14 +99,24 @@ impl SearchService for FlakyService {
 pub struct RetryService {
     inner: Arc<dyn SearchService>,
     attempts: u32,
+    obs: Obs,
 }
 
 impl RetryService {
     /// Wrap `inner`, trying up to `attempts` times (min 1).
     pub fn new(inner: Arc<dyn SearchService>, attempts: u32) -> Arc<Self> {
+        Self::with_obs(inner, attempts, Obs::disabled())
+    }
+
+    /// Like [`RetryService::new`], additionally counting re-issues in
+    /// `wsq_retries_total` and — when executing on behalf of a pump call
+    /// (see [`wsq_obs::current_call`]) — recording a `Retried` trace
+    /// event against that call.
+    pub fn with_obs(inner: Arc<dyn SearchService>, attempts: u32, obs: Obs) -> Arc<Self> {
         Arc::new(RetryService {
             inner,
             attempts: attempts.max(1),
+            obs,
         })
     }
 }
@@ -99,6 +126,14 @@ impl SearchService for RetryService {
         let mut total_latency = Duration::ZERO;
         let mut last = None;
         for attempt in 0..self.attempts {
+            if attempt > 0 {
+                if let Some(m) = self.obs.metrics() {
+                    m.retries.inc();
+                }
+                if let Some(call) = wsq_obs::current_call() {
+                    self.obs.event(call, EventKind::Retried);
+                }
+            }
             // Salt the request so a deterministic flake doesn't fail every
             // attempt identically — mirroring real engines where a retry
             // hits a different replica. The salt is whitespace-class only

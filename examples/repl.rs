@@ -11,9 +11,12 @@
 //! * `.explain <select>` — show the (transformed) physical plan
 //! * `.verify <select>`  — show the plan plus the static verifier's verdict
 //! * `.analyze <select>` — run it and show per-operator runtime stats
+//! * `.trace <select>`   — run it and show every external call's lifecycle
+//!   timeline (registered → queued → launched → completed → patched)
 //! * `.mode sync|async|parallel` — switch execution mode
 //! * `.tables`           — list stored tables
-//! * `.stats`            — pump & buffer-pool statistics
+//! * `.stats`            — pump, buffer-pool, and metrics-registry snapshot
+//! * `.metrics`          — Prometheus text dump of the metrics registry
 //! * `.quit`
 
 use std::io::{self, BufRead, Write};
@@ -53,6 +56,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if line == ".stats" {
             println!("pump: {:?}", wsq.pump().stats());
             println!("pool: {:?}", wsq.db().pool_stats());
+            if let Some(m) = wsq.obs().metrics() {
+                let lat = m.call_latency.snapshot();
+                let fmt = |d: Option<std::time::Duration>| match d {
+                    Some(d) => format!("{:.1}ms", d.as_secs_f64() * 1e3),
+                    None => "-".into(),
+                };
+                println!(
+                    "calls: completed={} failed={} coalesced={} cancelled={} in_flight={} (peak {})",
+                    m.calls_completed.get(),
+                    m.calls_failed.get(),
+                    m.calls_coalesced.get(),
+                    m.calls_cancelled.get(),
+                    m.in_flight.get(),
+                    m.in_flight.high_water(),
+                );
+                println!(
+                    "call latency: p50={} p95={} max={} (n={})",
+                    fmt(lat.quantile(0.5)),
+                    fmt(lat.quantile(0.95)),
+                    fmt(Some(std::time::Duration::from_nanos(lat.max_nanos))),
+                    lat.count,
+                );
+                println!(
+                    "cache: hits={} misses={} coalesced={}  retries={} flaky_failures={}",
+                    m.cache_hits.get(),
+                    m.cache_misses.get(),
+                    m.cache_coalesced.get(),
+                    m.retries.get(),
+                    m.flaky_failures.get(),
+                );
+                println!(
+                    "queries: {} (latency p95={})  tuples: patched={} cancelled={}",
+                    m.queries.get(),
+                    fmt(m.query_latency.snapshot().quantile(0.95)),
+                    m.tuples_patched.get(),
+                    m.tuples_cancelled.get(),
+                );
+            }
+            continue;
+        }
+        if line == ".metrics" {
+            print!("{}", wsq.metrics_text());
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix(".trace") {
+            match wsq.trace_query(sql.trim()) {
+                Ok((rows, timeline)) => {
+                    print!("{timeline}");
+                    println!("({} rows)", rows.rows.len());
+                }
+                Err(e) => println!("error: {e}"),
+            }
             continue;
         }
         if let Some(mode) = line.strip_prefix(".mode") {

@@ -611,7 +611,7 @@ pub mod sync {
 
     impl<T> Mutex<T> {
         /// Create a mutex registered with the current run's kernel; only
-        /// valid inside [`check`](super::check).
+        /// valid inside [`check`](super::check()).
         #[allow(clippy::new_without_default)]
         pub fn new(value: T) -> Mutex<T> {
             let (kernel, _) = current_ctx();
