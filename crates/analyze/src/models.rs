@@ -19,6 +19,12 @@
 //! - [`batched_drain_model`]: the `take_completed` bulk-drain loop that
 //!   `ReqSyncExec` runs processes every completion exactly once and
 //!   terminates under every schedule.
+//! - [`stall_resume_model`]: the admission-control handshake a *capped*
+//!   ReqSync runs (DESIGN.md §11) — admit until full, then alternate
+//!   `take_completed` drains with `wait_any` until the low-water mark —
+//!   never loses a wakeup (even when the pump completes the last
+//!   pending call exactly as the scan stalls), never patches twice,
+//!   never exceeds the cap, and cannot deadlock at `cap == 1`.
 //! - [`single_flight_model`]: the cache's Ready/Pending promotion elects
 //!   exactly one leader per key; followers coalesce onto the leader's
 //!   flight and observe its published value.
@@ -225,6 +231,84 @@ pub fn batched_drain_model() -> Stats {
         for c in completers {
             c.join();
         }
+    })
+}
+
+/// The capped `ReqSyncExec` admission loop (`stall_until_low_water`),
+/// at the real code's exact synchronization points: admit one call per
+/// child pull; at `cap` buffered, alternate a `take_completed` drain
+/// with `wait_any` until occupancy reaches the low-water mark
+/// (`cap / 2`); after the child is exhausted, drain the tail the same
+/// way. Completer threads race the whole loop (`split` uses two, so
+/// completion order itself is explored adversarially).
+///
+/// The checker proves, over every interleaving: every call is patched
+/// exactly once, occupancy never exceeds the cap, and the loop always
+/// terminates — in particular the stall cannot miss the completion of
+/// its last pending call (`wait_any`'s fast path re-checks `results`
+/// under the same lock that registers interest), and `cap == 1`, the
+/// tightest setting, admits → waits → drains without deadlock.
+pub fn stall_resume_model(cap: usize, split: bool) -> Stats {
+    fn drain(pump: &MiniPump, buffered: &mut Vec<u64>, processed: &mut BTreeMap<u64, u64>) {
+        for (cid, v) in pump.take_completed(buffered) {
+            assert!(processed.insert(cid, v).is_none(), "double patch of {cid}");
+            buffered.retain(|c| *c != cid);
+        }
+    }
+    check_with(bounds(), move || {
+        let pump = Arc::new(MiniPump::new());
+        // One completer finishing three calls in order, or — to explore
+        // completion *order* adversarially without exploding the
+        // schedule tree — two completers racing over one call each.
+        let jobs: Vec<Vec<u64>> = if split {
+            vec![vec![1], vec![2]]
+        } else {
+            vec![vec![1, 2, 3]]
+        };
+        let n = if split { 2u64 } else { 3u64 };
+        let completers: Vec<_> = jobs
+            .into_iter()
+            .map(|cids| {
+                let p = pump.clone();
+                thread::spawn(move || {
+                    for cid in cids {
+                        p.complete(cid, cid + 100);
+                    }
+                })
+            })
+            .collect();
+        let mut buffered: Vec<u64> = Vec::new();
+        let mut processed: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut high_water = 0usize;
+        for cid in 1..=n {
+            buffered.push(cid);
+            high_water = high_water.max(buffered.len());
+            if buffered.len() >= cap {
+                let low = cap / 2;
+                loop {
+                    drain(&pump, &mut buffered, &mut processed);
+                    if buffered.len() <= low {
+                        break;
+                    }
+                    pump.wait_any(&buffered);
+                }
+            }
+        }
+        while !buffered.is_empty() {
+            pump.wait_any(&buffered);
+            drain(&pump, &mut buffered, &mut processed);
+        }
+        for c in completers {
+            c.join();
+        }
+        assert_eq!(processed.len(), n as usize, "a call was never patched");
+        for cid in 1..=n {
+            assert_eq!(processed.get(&cid), Some(&(cid + 100)));
+        }
+        assert!(
+            high_water <= cap,
+            "occupancy {high_water} exceeded the cap {cap}"
+        );
     })
 }
 
@@ -540,6 +624,20 @@ mod tests {
     #[test]
     fn batched_drain_delivers_exactly_once() {
         let stats = batched_drain_model();
+        assert!(stats.complete, "exploration hit the schedule cap");
+        assert!(stats.schedules >= 2, "expected multiple interleavings");
+    }
+
+    #[test]
+    fn stall_resume_cannot_deadlock_at_cap_one() {
+        let stats = stall_resume_model(1, false);
+        assert!(stats.complete, "exploration hit the schedule cap");
+        assert!(stats.schedules >= 2, "expected multiple interleavings");
+    }
+
+    #[test]
+    fn stall_resume_loses_no_wakeup_under_adversarial_completion_order() {
+        let stats = stall_resume_model(2, true);
         assert!(stats.complete, "exploration hit the schedule cap");
         assert!(stats.schedules >= 2, "expected multiple interleavings");
     }

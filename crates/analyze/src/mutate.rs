@@ -74,24 +74,35 @@ pub fn apply(plan: &PhysPlan, m: Mutation) -> Option<PhysPlan> {
             other => Err(other),
         },
         Mutation::StripSyncAttr => &mut |p| match p {
-            PhysPlan::ReqSync { input, attrs, mode } if !attrs.is_empty() => {
-                Ok(PhysPlan::ReqSync {
-                    input,
-                    attrs: attrs[1..].to_vec(),
-                    mode,
-                })
-            }
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } if !attrs.is_empty() => Ok(PhysPlan::ReqSync {
+                input,
+                attrs: attrs[1..].to_vec(),
+                mode,
+                cap,
+            }),
             other => Err(other),
         },
         Mutation::DuplicateReqSync => &mut |p| match p {
-            PhysPlan::ReqSync { input, attrs, mode } => Ok(PhysPlan::ReqSync {
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } => Ok(PhysPlan::ReqSync {
                 input: Box::new(PhysPlan::ReqSync {
                     input,
                     attrs: attrs.clone(),
                     mode,
+                    cap,
                 }),
                 attrs,
                 mode,
+                cap,
             }),
             other => Err(other),
         },
@@ -103,10 +114,16 @@ pub fn apply(plan: &PhysPlan, m: Mutation) -> Option<PhysPlan> {
                 ) =>
             {
                 match *input {
-                    PhysPlan::ReqSync { input, attrs, mode } => Ok(PhysPlan::ReqSync {
+                    PhysPlan::ReqSync {
+                        input,
+                        attrs,
+                        mode,
+                        cap,
+                    } => Ok(PhysPlan::ReqSync {
                         input: Box::new(PhysPlan::Filter { input, predicate }),
                         attrs,
                         mode,
+                        cap,
                     }),
                     _ => unreachable!("guard matched ReqSync"),
                 }
@@ -116,10 +133,16 @@ pub fn apply(plan: &PhysPlan, m: Mutation) -> Option<PhysPlan> {
         Mutation::HoistSortBelowSync => &mut |p| match p {
             PhysPlan::Sort { input, keys } if matches!(&*input, PhysPlan::ReqSync { .. }) => {
                 match *input {
-                    PhysPlan::ReqSync { input, attrs, mode } => Ok(PhysPlan::ReqSync {
+                    PhysPlan::ReqSync {
+                        input,
+                        attrs,
+                        mode,
+                        cap,
+                    } => Ok(PhysPlan::ReqSync {
                         input: Box::new(PhysPlan::Sort { input, keys }),
                         attrs,
                         mode,
+                        cap,
                     }),
                     _ => unreachable!("guard matched ReqSync"),
                 }
@@ -127,41 +150,58 @@ pub fn apply(plan: &PhysPlan, m: Mutation) -> Option<PhysPlan> {
             other => Err(other),
         },
         Mutation::AggregateBelowSync => &mut |p| match p {
-            PhysPlan::ReqSync { input, attrs, mode } if !attrs.is_empty() => {
-                Ok(PhysPlan::ReqSync {
-                    input: Box::new(PhysPlan::Aggregate {
-                        input,
-                        group_by: vec![],
-                        aggs: vec![(AggFunc::Count, None, "n".to_string())],
-                    }),
-                    attrs,
-                    mode,
-                })
-            }
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } if !attrs.is_empty() => Ok(PhysPlan::ReqSync {
+                input: Box::new(PhysPlan::Aggregate {
+                    input,
+                    group_by: vec![],
+                    aggs: vec![(AggFunc::Count, None, "n".to_string())],
+                }),
+                attrs,
+                mode,
+                cap,
+            }),
             other => Err(other),
         },
         Mutation::DistinctBelowSync => &mut |p| match p {
-            PhysPlan::ReqSync { input, attrs, mode } if !attrs.is_empty() => {
-                Ok(PhysPlan::ReqSync {
-                    input: Box::new(PhysPlan::Distinct { input }),
-                    attrs,
-                    mode,
-                })
-            }
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } if !attrs.is_empty() => Ok(PhysPlan::ReqSync {
+                input: Box::new(PhysPlan::Distinct { input }),
+                attrs,
+                mode,
+                cap,
+            }),
             other => Err(other),
         },
         Mutation::LimitBelowSync => &mut |p| match p {
-            PhysPlan::ReqSync { input, attrs, mode } if !attrs.is_empty() => {
-                Ok(PhysPlan::ReqSync {
-                    input: Box::new(PhysPlan::Limit { input, n: 1 }),
-                    attrs,
-                    mode,
-                })
-            }
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } if !attrs.is_empty() => Ok(PhysPlan::ReqSync {
+                input: Box::new(PhysPlan::Limit { input, n: 1 }),
+                attrs,
+                mode,
+                cap,
+            }),
             other => Err(other),
         },
         Mutation::ProjectAwayPlaceholder => &mut |p| match p {
-            PhysPlan::ReqSync { input, attrs, mode } if !attrs.is_empty() => {
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } if !attrs.is_empty() => {
                 let in_schema = input.schema();
                 let kept: Vec<&Column> = in_schema
                     .columns()
@@ -175,7 +215,12 @@ pub fn apply(plan: &PhysPlan, m: Mutation) -> Option<PhysPlan> {
                     })
                     .collect();
                 if kept.is_empty() {
-                    return Err(PhysPlan::ReqSync { input, attrs, mode });
+                    return Err(PhysPlan::ReqSync {
+                        input,
+                        attrs,
+                        mode,
+                        cap,
+                    });
                 }
                 let items = kept
                     .iter()
@@ -202,12 +247,18 @@ pub fn apply(plan: &PhysPlan, m: Mutation) -> Option<PhysPlan> {
                     }),
                     attrs,
                     mode,
+                    cap,
                 })
             }
             other => Err(other),
         },
         Mutation::ComputeOverPlaceholder => &mut |p| match p {
-            PhysPlan::ReqSync { input, attrs, mode } if !attrs.is_empty() => {
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } if !attrs.is_empty() => {
                 let victim = attrs[0].clone();
                 Ok(PhysPlan::ReqSync {
                     input: Box::new(PhysPlan::Project {
@@ -224,6 +275,7 @@ pub fn apply(plan: &PhysPlan, m: Mutation) -> Option<PhysPlan> {
                     }),
                     attrs,
                     mode,
+                    cap,
                 })
             }
             other => Err(other),
@@ -295,16 +347,23 @@ fn rebind(plan: PhysPlan, col: ColumnRef) -> Result<PhysPlan, PhysPlan> {
                 predicate,
             }),
         },
-        PhysPlan::ReqSync { input, attrs, mode } => match rebind(*input, col) {
+        PhysPlan::ReqSync {
+            input,
+            attrs,
+            mode,
+            cap,
+        } => match rebind(*input, col) {
             Ok(i) => Ok(PhysPlan::ReqSync {
                 input: Box::new(i),
                 attrs,
                 mode,
+                cap,
             }),
             Err(i) => Err(PhysPlan::ReqSync {
                 input: Box::new(i),
                 attrs,
                 mode,
+                cap,
             }),
         },
         other => Err(other),
@@ -370,7 +429,12 @@ fn rewrite_first(
         } => unary!(Aggregate, input, group_by, aggs),
         Distinct { input } => unary!(Distinct, input,),
         Limit { input, n } => unary!(Limit, input, n),
-        ReqSync { input, attrs, mode } => unary!(ReqSync, input, attrs, mode),
+        ReqSync {
+            input,
+            attrs,
+            mode,
+            cap,
+        } => unary!(ReqSync, input, attrs, mode, cap),
         DependentJoin { left, right } => binary!(DependentJoin, left, right,),
         NestedLoopJoin {
             left,

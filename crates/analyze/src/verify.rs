@@ -166,6 +166,7 @@ impl fmt::Display for Report {
 ///     attrs: spec.external_attrs(),
 ///     input: Box::new(PhysPlan::AEVScan(spec)),
 ///     mode: BufferMode::Full,
+///     cap: None,
 /// };
 /// let report = verify(&plan).expect("plan is placeholder-safe");
 /// assert_eq!((report.aev_scans, report.req_syncs), (1, 1));

@@ -144,6 +144,66 @@ fn measure_obs_ablation(threads: usize, ops: usize, rounds: usize) -> ObsAblatio
     }
 }
 
+struct CapAblation {
+    cap: Option<usize>,
+    median_ms: f64,
+    buffered_high_water: i64,
+    stalls: u64,
+    identical_rows: bool,
+}
+
+/// The admission-control ablation (DESIGN.md §11): the 50-state WebCount
+/// fan-out under jittered latency with the ReqSync buffer unbounded,
+/// capped at 64 (above the fan-out, so the cap never binds) and capped
+/// at 8 (binds hard, ~6× below the unbounded peak). Row output must be
+/// byte-identical across caps; what the cap trades is peak buffer
+/// occupancy against stall time.
+fn measure_cap_ablation(rounds: usize) -> Vec<CapAblation> {
+    use wsq_core::{Wsq, WsqConfig};
+    use wsq_websim::LatencyModel;
+    let query = "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                 ORDER BY Count DESC, Name";
+    let latency = LatencyModel::Jitter {
+        base: Duration::from_millis(1),
+        jitter: Duration::from_millis(2),
+    };
+    let mut reference: Option<String> = None;
+    [None, Some(64usize), Some(8)]
+        .into_iter()
+        .map(|cap| {
+            let mut wsq = Wsq::open_in_memory(WsqConfig {
+                latency,
+                reqsync_buffer_cap: cap,
+                ..WsqConfig::fast()
+            })
+            .expect("open wsq");
+            wsq.load_reference_data().expect("reference data");
+            let mut identical_rows = true;
+            let mut samples: Vec<f64> = (0..rounds)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    let rows = wsq.query(query).expect("fan-out query").to_table();
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    match &reference {
+                        Some(r) => identical_rows &= rows == *r,
+                        None => reference = Some(rows),
+                    }
+                    ms
+                })
+                .collect();
+            let m = wsq.obs().metrics().expect("obs enabled by default");
+            CapAblation {
+                cap,
+                median_ms: median(&mut samples),
+                // Reset at every query window open: the last query's peak.
+                buffered_high_water: m.reqsync_buffered.high_water(),
+                stalls: m.reqsync_stalls.get(),
+                identical_rows,
+            }
+        })
+        .collect()
+}
+
 /// Time pump register/wait/release churn across threads.
 fn measure_pump_churn(threads: usize, calls: usize, rounds: usize) -> f64 {
     let pump = ReqPump::new(PumpConfig {
@@ -229,6 +289,9 @@ fn main() {
     eprintln!("... obs overhead ablation");
     let obs = measure_obs_ablation(*thread_counts.last().unwrap(), ops, rounds);
 
+    eprintln!("... reqsync cap ablation");
+    let caps = measure_cap_ablation(rounds);
+
     // Render the report.
     println!(
         "{:<16}{:>8}{:>10}{:>12}{:>14}",
@@ -258,6 +321,17 @@ fn main() {
         obs.enabled_ms,
         obs.enabled_overhead_pct,
     );
+
+    for c in &caps {
+        println!(
+            "cap ablation cap={}: {:.3} ms, buffered high-water {}, {} stalls, identical={}",
+            c.cap.map_or("inf".to_string(), |n| n.to_string()),
+            c.median_ms,
+            c.buffered_high_water,
+            c.stalls,
+            c.identical_rows,
+        );
+    }
 
     // Speedups of sharded over coarse per (workload, threads).
     let speedup = |wname: &str, threads: usize| -> f64 {
@@ -334,6 +408,20 @@ fn main() {
         json_f(obs.disabled_delta_pct),
         json_f(obs.enabled_overhead_pct),
     ));
+    out.push_str("  \"cap_ablation\": [\n");
+    for (i, c) in caps.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cap\": {}, \"median_ms\": {}, \"buffered_high_water\": {}, \
+             \"stalls\": {}, \"identical_rows\": {}}}{}\n",
+            c.cap.map_or("null".to_string(), |n| n.to_string()),
+            json_f(c.median_ms),
+            c.buffered_high_water,
+            c.stalls,
+            c.identical_rows,
+            if i + 1 == caps.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     // Registry snapshot from the obs-enabled ablation run, so a bench
     // artifact also records what the workload did (hits, misses,
     // coalesced waits) — not just how fast it did it.
@@ -342,5 +430,19 @@ fn main() {
     std::fs::write("BENCH_pump_cache.json", &out).expect("write BENCH_pump_cache.json");
     eprintln!("wrote BENCH_pump_cache.json");
     assert!(sf.verified, "single-flight invariant violated");
+    for c in &caps {
+        assert!(
+            c.identical_rows,
+            "cap {:?} changed the fan-out's rows",
+            c.cap
+        );
+        if let Some(n) = c.cap {
+            assert!(
+                c.buffered_high_water <= n as i64,
+                "cap {n} exceeded: high-water {}",
+                c.buffered_high_water
+            );
+        }
+    }
     std::hint::black_box(Duration::ZERO);
 }

@@ -58,6 +58,14 @@ pub struct WsqConfig {
     /// `.trace`, and the ANALYZE trace footer live. Set `false` for a
     /// true no-op sink (verified <2% overhead by the bench ablation).
     pub obs: bool,
+    /// Admission-control cap on incomplete tuples buffered per ReqSync
+    /// operator (DESIGN.md §11). `None` — the default and the paper's
+    /// behaviour — buffers without bound; `Some(n)` stalls the scan side
+    /// when `n` tuples are buffered until completions drain the buffer
+    /// to the low-water mark (`n / 2`). Results are unaffected; only
+    /// peak memory and call-issue pacing change. Shorthand for setting
+    /// `query.reqsync_cap` (this field wins when both are set).
+    pub reqsync_buffer_cap: Option<usize>,
 }
 
 impl Default for WsqConfig {
@@ -70,6 +78,7 @@ impl Default for WsqConfig {
             cache: false,
             cache_tuning: CacheConfig::default(),
             obs: true,
+            reqsync_buffer_cap: None,
         }
     }
 }
@@ -123,11 +132,15 @@ impl Wsq {
         let mut pump_config = config.pump.clone();
         pump_config.obs = obs.clone();
         let pump = ReqPump::new(pump_config);
+        let mut opts = config.query;
+        if config.reqsync_buffer_cap.is_some() {
+            opts.reqsync_cap = config.reqsync_buffer_cap;
+        }
         let mut wsq = Wsq {
             db,
             engines: EngineRegistry::new(),
             pump,
-            opts: config.query,
+            opts,
             web,
             caches: HashMap::new(),
             obs,
@@ -479,6 +492,34 @@ mod tests {
         assert!(plan.contains("AEVScan"));
         assert!(plan.contains("ReqSync"));
         assert_eq!(wsq.pump().live_calls(), 0);
+    }
+
+    #[test]
+    fn buffer_cap_threads_through_and_preserves_results() {
+        let query = "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                     ORDER BY Count DESC, Name";
+        let mut unbounded = Wsq::open_in_memory(WsqConfig::fast()).unwrap();
+        unbounded.load_reference_data().unwrap();
+        let baseline = unbounded.query(query).unwrap();
+
+        let mut capped = Wsq::open_in_memory(WsqConfig {
+            reqsync_buffer_cap: Some(4),
+            ..WsqConfig::fast()
+        })
+        .unwrap();
+        capped.load_reference_data().unwrap();
+        assert_eq!(capped.options_mut().reqsync_cap, Some(4));
+        let r = capped.query(query).unwrap();
+        assert_eq!(r.to_table(), baseline.to_table());
+
+        let m = capped.obs().metrics().expect("obs on by default");
+        assert!(
+            m.reqsync_buffered.high_water() <= 4,
+            "cap=4 but buffered high-water was {}",
+            m.reqsync_buffered.high_water()
+        );
+        assert_eq!(m.reqsync_buffered.get(), 0, "buffer drained at query end");
+        assert_eq!(capped.pump().live_calls(), 0);
     }
 
     #[test]

@@ -25,7 +25,23 @@ use wsq_sql::ast::{ColumnRef, Expr};
 
 /// Rewrite a synchronous plan into its asynchronous-iteration form.
 pub fn asyncify(plan: PhysPlan, strategy: PlacementStrategy, mode: BufferMode) -> PhysPlan {
-    let mut ctx = Ctx { strategy, mode };
+    asyncify_with_cap(plan, strategy, mode, None)
+}
+
+/// [`asyncify`], additionally stamping every emitted ReqSync with an
+/// admission-control cap on buffered incomplete tuples
+/// (`QueryOptions::reqsync_cap`; `None` = unbounded).
+pub fn asyncify_with_cap(
+    plan: PhysPlan,
+    strategy: PlacementStrategy,
+    mode: BufferMode,
+    cap: Option<usize>,
+) -> PhysPlan {
+    let mut ctx = Ctx {
+        strategy,
+        mode,
+        cap,
+    };
     let (core, pending) = ctx.lift(plan);
     consolidate_adjacent(ctx.flush(core, pending))
 }
@@ -38,11 +54,17 @@ fn consolidate_adjacent(plan: PhysPlan) -> PhysPlan {
     use PhysPlan::*;
     let map = |p: Box<PhysPlan>| Box::new(consolidate_adjacent(*p));
     match plan {
-        ReqSync { input, attrs, mode } => {
+        ReqSync {
+            input,
+            attrs,
+            mode,
+            cap,
+        } => {
             let inner = consolidate_adjacent(*input);
             if let ReqSync {
                 input: inner_input,
                 attrs: inner_attrs,
+                cap: inner_cap,
                 ..
             } = inner
             {
@@ -56,12 +78,20 @@ fn consolidate_adjacent(plan: PhysPlan) -> PhysPlan {
                     input: inner_input,
                     attrs: merged,
                     mode,
+                    // The merged operator keeps the tighter cap: the pair
+                    // buffered independently before, so either bound alone
+                    // was already a promise to the administrator.
+                    cap: match (cap, inner_cap) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    },
                 }
             } else {
                 ReqSync {
                     input: Box::new(inner),
                     attrs,
                     mode,
+                    cap,
                 }
             }
         }
@@ -138,6 +168,7 @@ enum Pending {
 struct Ctx {
     strategy: PlacementStrategy,
     mode: BufferMode,
+    cap: Option<usize>,
 }
 
 /// Case-insensitive column-reference equality (SQL identifier semantics).
@@ -195,6 +226,7 @@ impl Ctx {
                 input: Box::new(plan),
                 attrs,
                 mode: self.mode,
+                cap: self.cap,
             };
         }
         for predicate in filters {
@@ -477,7 +509,12 @@ impl Ctx {
             // An existing ReqSync (re-asyncifying an async plan): keep it
             // where it is, absorbing any rising Sync it already covers so
             // the transformation is idempotent.
-            PhysPlan::ReqSync { input, attrs, mode } => {
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } => {
                 let (core, pending) = self.lift(*input);
                 let (absorbed, remaining): (Vec<_>, Vec<_>) =
                     pending.into_iter().partition(|p| match p {
@@ -490,6 +527,7 @@ impl Ctx {
                         input: Box::new(self.flush(core, remaining)),
                         attrs,
                         mode,
+                        cap: cap.or(self.cap),
                     },
                     vec![],
                 )
@@ -573,10 +611,16 @@ pub fn parallelize(plan: PhysPlan, threads: usize) -> PhysPlan {
             input: map(input),
             n,
         },
-        ReqSync { input, attrs, mode } => ReqSync {
+        ReqSync {
+            input,
+            attrs,
+            mode,
+            cap,
+        } => ReqSync {
             input: map(input),
             attrs,
             mode,
+            cap,
         },
         leaf => leaf,
     }

@@ -1,6 +1,5 @@
 //! The database driver: file management, DDL/DML, and query execution.
 
-use crate::asyncify::asyncify;
 use crate::builder::plan_select;
 use crate::catalog::Catalog;
 use crate::engines::EngineRegistry;
@@ -30,6 +29,12 @@ pub struct QueryOptions {
     pub buffer: BufferMode,
     /// Worker-thread cap for [`ExecutionMode::ParallelJoins`].
     pub parallel_threads: usize,
+    /// Admission-control cap on incomplete tuples buffered per ReqSync
+    /// (`None` = unbounded). When the buffer fills, the operator stops
+    /// pulling from its child — stalling the AEVScan side so no new
+    /// external calls register — until completions drain it below the
+    /// low-water mark (half the cap).
+    pub reqsync_cap: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -39,6 +44,7 @@ impl Default for QueryOptions {
             strategy: PlacementStrategy::default(),
             buffer: BufferMode::default(),
             parallel_threads: 16,
+            reqsync_cap: None,
         }
     }
 }
@@ -499,7 +505,12 @@ impl Database {
         Ok(match opts.mode {
             ExecutionMode::Synchronous => plan,
             ExecutionMode::Asynchronous => {
-                let plan = asyncify(plan, opts.strategy, opts.buffer);
+                let plan = crate::asyncify::asyncify_with_cap(
+                    plan,
+                    opts.strategy,
+                    opts.buffer,
+                    opts.reqsync_cap,
+                );
                 // Debug-assert gate: the placeholder-dataflow verifier
                 // (wsq-analyze) rejects any clash-rule violation the
                 // transformation might have emitted.

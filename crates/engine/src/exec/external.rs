@@ -134,6 +134,12 @@ pub(crate) fn materialize_result(
 /// Asynchronous external virtual scan: registers the call with ReqPump and
 /// immediately returns ONE optimistic tuple whose external attributes are
 /// placeholders; `ReqSync` later patches, cancels, or multiplies it.
+///
+/// Calls are registered lazily, from `next`/`rebind` only. This is what
+/// makes ReqSync's admission control (DESIGN.md §11) work without any
+/// coordination at this level: a stalled ReqSync simply stops pulling its
+/// subtree, so no `next` reaches this scan and no new calls enter the
+/// pump while the buffer is full.
 pub struct AEVScanExec {
     spec: EvSpec,
     pump: Arc<ReqPump>,

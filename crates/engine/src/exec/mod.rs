@@ -234,9 +234,16 @@ fn build_node(
             let child = build(input)?;
             Ok(Box::new(LimitExec::new(child, *n)))
         }
-        PhysPlan::ReqSync { input, mode, .. } => {
+        PhysPlan::ReqSync {
+            input, mode, cap, ..
+        } => {
             let child = build(input)?;
-            Ok(Box::new(ReqSyncExec::new(child, ctx.pump.clone(), *mode)))
+            Ok(Box::new(ReqSyncExec::with_cap(
+                child,
+                ctx.pump.clone(),
+                *mode,
+                *cap,
+            )))
         }
     }
 }

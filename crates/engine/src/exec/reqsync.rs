@@ -12,6 +12,23 @@
 //! nuance) and are re-indexed under those calls. Exactly one tuple "owns"
 //! each pump registration; ownership drives `ReqPump::release` so results
 //! are freed exactly once even when copies proliferate references.
+//!
+//! # Admission control (backpressure)
+//!
+//! With a buffer cap configured (`QueryOptions::reqsync_cap` /
+//! `WsqConfig::reqsync_buffer_cap`), the operator **stalls** instead of
+//! buffering without bound: once `buffered` holds `cap` incomplete
+//! tuples it stops pulling from its child (the AEVScan side registers no
+//! new calls while un-pulled) and drains completions — blocking on
+//! [`ReqPump::wait_any`] between drains — until occupancy falls to the
+//! low-water mark (`cap / 2`), then resumes. The handshake reuses the
+//! pump's targeted-wakeup protocol unchanged: `wait_any` re-checks the
+//! result store under the pump's state lock before sleeping, so a
+//! completion that lands between a drain and the sleep can never be
+//! lost, and the stalled thread holds no locks while it waits. Stalls
+//! surface as `Stalled`/`Resumed` trace events, the
+//! `wsq_reqsync_stalls_total` counter and the `wsq_reqsync_stall_seconds`
+//! histogram.
 
 use super::Executor;
 use crate::plan::BufferMode;
@@ -42,16 +59,32 @@ pub struct ReqSyncExec {
     ready: VecDeque<Tuple>,
     /// Incomplete tuples, keyed by an internal id.
     buffered: HashMap<u64, BufTuple>,
-    /// Pending call → buffered tuple ids (may contain stale ids).
+    /// Pending call → buffered tuple ids. Compacted on every removal —
+    /// an id listed here always resolves in `buffered` (asserted in
+    /// debug builds), and the map is empty whenever the buffer is.
     index: HashMap<CallId, Vec<u64>>,
+    /// Admission-control cap on `buffered` (`None` = unbounded).
+    cap: Option<usize>,
     next_id: u64,
     child_done: bool,
     opened: bool,
 }
 
 impl ReqSyncExec {
-    /// Synchronize `child`'s placeholder tuples against `pump`.
+    /// Synchronize `child`'s placeholder tuples against `pump`, with an
+    /// unbounded buffer (the paper's behaviour).
     pub fn new(child: Box<dyn Executor>, pump: Arc<ReqPump>, mode: BufferMode) -> Self {
+        Self::with_cap(child, pump, mode, None)
+    }
+
+    /// [`ReqSyncExec::new`] with an admission-control cap on buffered
+    /// incomplete tuples (`None` = unbounded; `Some(0)` is treated as 1).
+    pub fn with_cap(
+        child: Box<dyn Executor>,
+        pump: Arc<ReqPump>,
+        mode: BufferMode,
+        cap: Option<usize>,
+    ) -> Self {
         let schema = child.schema().clone();
         let obs = pump.obs().clone();
         ReqSyncExec {
@@ -63,10 +96,69 @@ impl ReqSyncExec {
             ready: VecDeque::new(),
             buffered: HashMap::new(),
             index: HashMap::new(),
+            cap: cap.map(|c| c.max(1)),
             next_id: 0,
             child_done: false,
             opened: false,
         }
+    }
+
+    /// True iff the buffer has reached the admission-control cap.
+    fn at_capacity(&self) -> bool {
+        self.cap.is_some_and(|c| self.buffered.len() >= c)
+    }
+
+    /// Admission control: with the buffer full, stop admitting and drain
+    /// completions — blocking on the pump's targeted wakeup between
+    /// drains — until occupancy falls to the low-water mark (`cap / 2`).
+    ///
+    /// The loop can only run while `buffered` is non-empty, and every
+    /// buffered tuple keeps at least one pending call indexed, so
+    /// `wait_any` always has a non-empty call set: the stall cannot
+    /// deadlock, even at `cap == 1` (admit one → wait for its call →
+    /// drain → resume). §4.3 case-3 copy multiplication may transiently
+    /// overshoot the cap during a drain; the loop converges because the
+    /// query's call set is finite and copies register nothing new.
+    fn stall_until_low_water(&mut self) -> Result<()> {
+        let Some(cap) = self.cap else {
+            return Ok(());
+        };
+        if self.buffered.len() < cap {
+            return Ok(());
+        }
+        let low_water = cap / 2;
+        let stalled_at = Instant::now();
+        let anchor = if self.obs.is_enabled() {
+            let a = self.pending_calls().into_iter().min();
+            if let Some(c) = a {
+                self.obs.event(c, EventKind::Stalled);
+            }
+            a
+        } else {
+            None
+        };
+        if let Some(m) = self.obs.metrics() {
+            m.reqsync_stalls.inc();
+        }
+        loop {
+            self.drain_completions()?;
+            if self.buffered.len() <= low_water {
+                break;
+            }
+            let pending = self.pending_calls();
+            debug_assert!(!pending.is_empty(), "buffered tuples with no pending call");
+            if pending.is_empty() {
+                break;
+            }
+            self.pump.wait_any(&pending)?;
+        }
+        if let Some(m) = self.obs.metrics() {
+            m.stall_duration.observe(stalled_at.elapsed());
+        }
+        if let Some(c) = self.pending_calls().into_iter().min().or(anchor) {
+            self.obs.event(c, EventKind::Resumed);
+        }
+        Ok(())
     }
 
     fn admit(&mut self, tuple: Tuple) {
@@ -114,9 +206,14 @@ impl ReqSyncExec {
             return Ok(());
         };
         self.obs.event(call, EventKind::Delivered);
-        for id in ids {
-            // Stale ids (tuple already cancelled/rewritten) are skipped.
+        let mut ids = ids.into_iter();
+        while let Some(id) = ids.next() {
+            // The index is compacted on every removal (`unindex`, and the
+            // error arm below), so an id listed under `call` must still be
+            // buffered. A miss here means the two maps diverged — a leak
+            // of buffered tuples and their pump registrations.
             let Some(entry) = self.buffered.remove(&id) else {
+                debug_assert!(false, "index[{call:?}] held stale tuple id {id}");
                 continue;
             };
             if let Some(m) = self.obs.metrics() {
@@ -147,6 +244,33 @@ impl ReqSyncExec {
                     }
                     for c in owns {
                         self.pump.release(c);
+                    }
+                    // Compact the *remaining* waiters on this call too.
+                    // `index[call]` was already removed above; abandoning
+                    // the rest of the list would leave their buffered
+                    // entries unreachable — the buffered gauge stuck high
+                    // and their owned registrations held until close.
+                    for id in ids {
+                        let Some(entry) = self.buffered.remove(&id) else {
+                            debug_assert!(
+                                false,
+                                "index[{call:?}] held stale tuple id {id} (error path)"
+                            );
+                            continue;
+                        };
+                        if let Some(m) = self.obs.metrics() {
+                            m.reqsync_buffered.add(-1);
+                        }
+                        let others: Vec<CallId> = entry
+                            .tuple
+                            .pending_calls()
+                            .into_iter()
+                            .filter(|c| *c != call)
+                            .collect();
+                        self.unindex(id, &others);
+                        for c in entry.owns {
+                            self.pump.release(c);
+                        }
                     }
                     return Err(e.clone());
                 }
@@ -257,6 +381,33 @@ impl ReqSyncExec {
     fn pending_calls(&self) -> Vec<CallId> {
         self.index.keys().copied().collect()
     }
+
+    /// Debug-build invariant: `index` and `buffered` agree exactly —
+    /// every indexed id resolves, and every buffered tuple's pending
+    /// calls are indexed. Guards the compaction contract `patch_with`
+    /// relies on.
+    #[cfg(debug_assertions)]
+    fn assert_compact(&self) {
+        for (call, list) in &self.index {
+            for id in list {
+                assert!(
+                    self.buffered.contains_key(id),
+                    "index[{call:?}] holds stale tuple id {id}"
+                );
+            }
+        }
+        for (id, entry) in &self.buffered {
+            for c in entry.tuple.pending_calls() {
+                assert!(
+                    self.index.get(&c).is_some_and(|l| l.contains(id)),
+                    "buffered tuple {id} waits on {c:?} but is not indexed under it"
+                );
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn assert_compact(&self) {}
 }
 
 /// Replace every placeholder of `call` in `tuple` using `value_for`.
@@ -291,8 +442,13 @@ impl Executor for ReqSyncExec {
             // The paper's simple implementation: exhaust the child first,
             // buffering every (incomplete) tuple. Calls complete in the
             // background while we drain.
+            // With a cap, admission interleaves with draining: at the cap
+            // we stop pulling (no new calls register) and patch until the
+            // low-water mark frees slots. Completed tuples accumulate in
+            // `ready`, so Full-mode semantics are unchanged.
             while let Some(t) = self.child.next()? {
                 self.admit(t);
+                self.stall_until_low_water()?;
             }
             self.child.close()?;
             self.child_done = true;
@@ -306,6 +462,13 @@ impl Executor for ReqSyncExec {
                 return Ok(Some(t));
             }
             if !self.child_done {
+                // Admission control: at the cap, stall instead of pulling
+                // (the un-pulled AEVScan registers no new calls), then
+                // loop back — the drain may have readied tuples to emit.
+                if self.at_capacity() {
+                    self.stall_until_low_water()?;
+                    continue;
+                }
                 // Streaming mode: keep pulling; complete tuples pass
                 // straight through (§4.1: "tuples that do not depend on
                 // pending ReqPump calls may pass directly through").
@@ -326,8 +489,14 @@ impl Executor for ReqSyncExec {
                 }
             }
             if self.index.is_empty() {
+                debug_assert!(
+                    self.buffered.is_empty(),
+                    "drained index but {} tuples still buffered",
+                    self.buffered.len()
+                );
                 return Ok(None);
             }
+            self.assert_compact();
             // Block until something finishes, then absorb the whole burst
             // of completions — not just the one call wait_any reported —
             // in a single batched drain.

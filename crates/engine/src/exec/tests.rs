@@ -365,6 +365,70 @@ fn reqsync_copies_propagate_other_pending_calls() {
 }
 
 #[test]
+fn reqsync_error_path_compacts_every_waiting_tuple() {
+    // Regression: when a call fails while SEVERAL tuples wait on it
+    // (§4.3 case-3 copies all carrying the same second placeholder),
+    // the error path used to compact only the first waiter out of the
+    // buffer — the rest stayed orphaned (buffered gauge stuck high,
+    // their owned registrations held) until close(). The compaction
+    // must happen when the error surfaces, not at close.
+    struct Failing;
+    impl SearchService for Failing {
+        fn execute(&self, req: &SearchRequest) -> ServiceReply {
+            ServiceReply {
+                result: Err(wsq_common::WsqError::Search(format!(
+                    "503 service unavailable for {}",
+                    req.expr
+                ))),
+                latency: std::time::Duration::ZERO,
+            }
+        }
+    }
+    let obs = wsq_obs::Obs::enabled();
+    let p = ReqPump::new(PumpConfig {
+        obs: obs.clone(),
+        ..PumpConfig::default()
+    });
+    p.register_service("AV", Arc::new(Scripted));
+    p.register_service("BAD", Arc::new(Failing));
+
+    // One source row → A's optimistic tuple → B joins → one buffered
+    // tuple holding placeholders from both calls. A ("many") patches
+    // into 3 copies, each still waiting on B; B then fails with all 3
+    // indexed under its call.
+    let schema = Schema::new(vec![Column::new("term", DataType::Varchar)]);
+    let left = rows(schema, vec![vec![Value::from("many")]]);
+    let spec_a = pages_spec("A");
+    let scan_a = Box::new(AEVScanExec::new(spec_a.clone(), p.clone()));
+    let dj_a = Box::new(DependentJoinExec::new(left, scan_a, &spec_a).unwrap());
+    let mut spec_b = pages_spec("B");
+    spec_b.engine = "BAD".into();
+    let scan_b = Box::new(AEVScanExec::new(spec_b.clone(), p.clone()));
+    let dj_b = Box::new(DependentJoinExec::new(dj_a, scan_b, &spec_b).unwrap());
+
+    let mut sync = ReqSyncExec::new(dj_b, p.clone(), BufferMode::Full);
+    sync.open().unwrap();
+    let err = loop {
+        match sync.next() {
+            Ok(Some(_)) => {}
+            Ok(None) => panic!("query must fail on the BAD engine"),
+            Err(e) => break e,
+        }
+    };
+    assert!(err.to_string().contains("503"), "{err}");
+    // Every waiter was compacted out when the error surfaced — before
+    // close() — and its registrations released with it.
+    let m = obs.metrics().unwrap();
+    assert_eq!(
+        m.reqsync_buffered.get(),
+        0,
+        "error path left buffer slots occupied"
+    );
+    assert_eq!(p.live_calls(), 0, "error path leaked pump registrations");
+    sync.close().unwrap();
+}
+
+#[test]
 fn reqsync_passthrough_of_complete_tuples() {
     // Streaming mode: tuples with no placeholders flow straight through.
     let p = pump();

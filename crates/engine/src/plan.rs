@@ -296,6 +296,10 @@ pub enum PhysPlan {
         attrs: Vec<ColumnRef>,
         /// Buffering discipline.
         mode: BufferMode,
+        /// Admission-control cap on buffered incomplete tuples (`None` =
+        /// unbounded, the paper's behaviour). When the buffer is full the
+        /// operator stalls its child instead of admitting more.
+        cap: Option<usize>,
     },
 }
 
@@ -693,6 +697,7 @@ mod tests {
             input: Box::new(PhysPlan::ReqSync {
                 attrs: spec(VTableKind::WebCount, true).external_attrs(),
                 mode: BufferMode::Full,
+                cap: None,
                 input: Box::new(PhysPlan::DependentJoin {
                     left: Box::new(PhysPlan::SeqScan {
                         table: "Sigs".into(),

@@ -377,6 +377,7 @@ fn consolidation_merges_carried_reqsync_at_flush_point() {
         input: Box::new(nested.clone()),
         attrs: v1_attrs.clone(),
         mode: BufferMode::Full,
+        cap: None,
     };
     let out = asyncify(carried, PlacementStrategy::Full, BufferMode::Full);
 
@@ -406,9 +407,11 @@ fn consolidation_merges_carried_reqsync_at_flush_point() {
             input: Box::new(nested),
             attrs: v1_attrs,
             mode: BufferMode::Full,
+            cap: None,
         }),
         attrs: v2_attrs,
         mode: BufferMode::Full,
+        cap: None,
     };
     let err = wsq_analyze::verify_async(&unmerged).expect_err("adjacent pair must be rejected");
     assert!(

@@ -353,12 +353,17 @@ pub struct WellKnown {
     pub queue_depth: Arc<Gauge>,
     /// Incomplete tuples buffered across live ReqSync operators.
     pub reqsync_buffered: Arc<Gauge>,
+    /// Admission-control stalls: times a capped ReqSync stopped pulling
+    /// from its child because its buffer was full.
+    pub reqsync_stalls: Arc<Counter>,
     /// Launch → completion latency per call.
     pub call_latency: Arc<Histogram>,
     /// Registration → launch delay per call (capacity wait).
     pub queue_delay: Arc<Histogram>,
     /// Tuple admission → patch delay in ReqSync.
     pub patch_delay: Arc<Histogram>,
+    /// Time a capped ReqSync spent stalled (stall → resume) per stall.
+    pub stall_duration: Arc<Histogram>,
     /// End-to-end wall time per query.
     pub query_latency: Arc<Histogram>,
 }
@@ -427,6 +432,10 @@ impl WellKnown {
                 "wsq_reqsync_buffered",
                 "Incomplete tuples buffered across live ReqSync operators",
             ),
+            reqsync_stalls: registry.counter(
+                "wsq_reqsync_stalls_total",
+                "Times a capped ReqSync stopped pulling because its buffer was full",
+            ),
             call_latency: registry.histogram(
                 "wsq_call_latency_seconds",
                 "Launch-to-completion latency per external call",
@@ -438,6 +447,10 @@ impl WellKnown {
             patch_delay: registry.histogram(
                 "wsq_patch_delay_seconds",
                 "Tuple admission-to-patch delay in ReqSync",
+            ),
+            stall_duration: registry.histogram(
+                "wsq_reqsync_stall_seconds",
+                "Time a capped ReqSync spent stalled (stall to resume)",
             ),
             query_latency: registry.histogram(
                 "wsq_query_latency_seconds",

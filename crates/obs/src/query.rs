@@ -24,6 +24,8 @@ pub struct QueryWindow {
     call_latency0: HistogramSnapshot,
     queue_delay0: HistogramSnapshot,
     patch_delay0: HistogramSnapshot,
+    stall_duration0: HistogramSnapshot,
+    stalls0: u64,
 }
 
 impl QueryWindow {
@@ -31,6 +33,7 @@ impl QueryWindow {
         match obs.metrics() {
             Some(m) => {
                 m.in_flight.reset_high_water();
+                m.reqsync_buffered.reset_high_water();
                 QueryWindow {
                     enabled: true,
                     start_pos: obs.trace_position(),
@@ -38,6 +41,8 @@ impl QueryWindow {
                     call_latency0: m.call_latency.snapshot(),
                     queue_delay0: m.queue_delay.snapshot(),
                     patch_delay0: m.patch_delay.snapshot(),
+                    stall_duration0: m.stall_duration.snapshot(),
+                    stalls0: m.reqsync_stalls.get(),
                 }
             }
             None => QueryWindow {
@@ -47,6 +52,8 @@ impl QueryWindow {
                 call_latency0: HistogramSnapshot::empty(),
                 queue_delay0: HistogramSnapshot::empty(),
                 patch_delay0: HistogramSnapshot::empty(),
+                stall_duration0: HistogramSnapshot::empty(),
+                stalls0: 0,
             },
         }
     }
@@ -66,6 +73,7 @@ impl QueryWindow {
         let calls = m.call_latency.snapshot().delta(&self.call_latency0);
         let queue = m.queue_delay.snapshot().delta(&self.queue_delay0);
         let patch = m.patch_delay.snapshot().delta(&self.patch_delay0);
+        let stall = m.stall_duration.snapshot().delta(&self.stall_duration0);
         let events = obs.trace_events_since(self.start_pos);
         Some(QuerySummary {
             elapsed,
@@ -76,6 +84,9 @@ impl QueryWindow {
             queue_p95: queue.quantile(0.95),
             patch_p95: patch.quantile(0.95),
             max_concurrent: m.in_flight.high_water(),
+            stalls: m.reqsync_stalls.get().saturating_sub(self.stalls0),
+            stall_p95: stall.quantile(0.95),
+            buffered_hw: m.reqsync_buffered.high_water(),
             events: events.len() as u64,
             dropped: obs.trace().map_or(0, |t| t.dropped()),
         })
@@ -102,6 +113,14 @@ pub struct QuerySummary {
     pub patch_p95: Option<Duration>,
     /// High-water mark of simultaneously in-flight calls.
     pub max_concurrent: i64,
+    /// Admission-control stalls ReqSync operators took in the window.
+    pub stalls: u64,
+    /// 95th-percentile stall duration (stall → resume).
+    pub stall_p95: Option<Duration>,
+    /// High-water mark of buffered incomplete tuples (ReqSync occupancy;
+    /// with `reqsync_buffer_cap` set this stays at or below the cap,
+    /// barring §4.3 case-3 copy multiplication).
+    pub buffered_hw: i64,
     /// Trace events the window captured.
     pub events: u64,
     /// Lifetime trace drops (non-zero means old windows were evicted).
@@ -112,7 +131,7 @@ impl fmt::Display for QuerySummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "calls={} call_p50={} call_p95={} call_max={} queue_p95={} patch_p95={} max_concurrent={} events={} dropped={}",
+            "calls={} call_p50={} call_p95={} call_max={} queue_p95={} patch_p95={} max_concurrent={} stalls={} stall_p95={} buffered_hw={} events={} dropped={}",
             self.calls,
             fmt_ms(self.call_p50),
             fmt_ms(self.call_p95),
@@ -120,6 +139,9 @@ impl fmt::Display for QuerySummary {
             fmt_ms(self.queue_p95),
             fmt_ms(self.patch_p95),
             self.max_concurrent,
+            self.stalls,
+            fmt_ms(self.stall_p95),
+            self.buffered_hw,
             self.events,
             self.dropped,
         )

@@ -49,6 +49,12 @@ pub enum EventKind {
     Patched,
     /// A buffered tuple waiting on the call was cancelled (§4.3 case 1).
     TupleCancelled,
+    /// ReqSync hit its buffer cap and stopped pulling from its child
+    /// (admission control; the call is the first one it then waited on).
+    Stalled,
+    /// A stalled ReqSync drained below its low-water mark and resumed
+    /// pulling from its child.
+    Resumed,
 }
 
 impl EventKind {
@@ -66,6 +72,8 @@ impl EventKind {
             EventKind::Delivered => "delivered",
             EventKind::Patched => "patched",
             EventKind::TupleCancelled => "tuple-cancelled",
+            EventKind::Stalled => "stalled",
+            EventKind::Resumed => "resumed",
         }
     }
 }

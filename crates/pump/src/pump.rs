@@ -391,6 +391,17 @@ impl ReqPump {
     /// completed tuple is available. The sleeping thread is woken only by
     /// a completion of one of `calls` (or shutdown), and the wakeup
     /// carries the completed id — no rescan of the call set on wake.
+    ///
+    /// # Backpressure interplay
+    ///
+    /// A capped `ReqSync` (DESIGN.md §11) alternates `take_completed`
+    /// drains with `wait_any` while stalled. That drain-then-sleep shape
+    /// is race-free because interest is registered *under the same state
+    /// lock* that re-checks `results`: a completion landing between the
+    /// drain and this call is found by the fast path at the top, and one
+    /// landing after registration fires the waiter. There is no window
+    /// in which a completion can slip past both — the schedcheck model
+    /// `stall_resume` explores every interleaving of this handshake.
     pub fn wait_any(&self, calls: &[CallId]) -> Result<CallId> {
         if calls.is_empty() {
             return Err(WsqError::Exec("wait_any on empty call set".to_string()));
@@ -835,6 +846,37 @@ mod tests {
         );
         assert_eq!(pump.stats().launched, 20);
         assert!(pump.stats().peak_in_flight >= 10);
+    }
+
+    #[test]
+    fn capped_consumer_drain_loop_never_hangs_or_drops() {
+        // The shape a capped ReqSync runs while stalled (DESIGN.md §11):
+        // admit one call at a time (cap = 1), then drain-and-wait until
+        // it completes before admitting the next. If wait_any could miss
+        // a completion that lands between the take_completed drain and
+        // the sleep, this loop would hang; if the drain could double-
+        // deliver, the count would overshoot.
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_millis(2)));
+        let mut delivered = 0usize;
+        for i in 0..32 {
+            let cid = pump.register(req("AV", &format!("q{i:02}"))).unwrap();
+            let mut pending = vec![cid];
+            while !pending.is_empty() {
+                let done = pump.take_completed(&pending);
+                if done.is_empty() {
+                    pump.wait_any(&pending).unwrap();
+                    continue;
+                }
+                for (c, outcome) in done {
+                    outcome.unwrap();
+                    pending.retain(|p| *p != c);
+                    pump.release(c);
+                    delivered += 1;
+                }
+            }
+        }
+        assert_eq!(delivered, 32);
+        assert_eq!(pump.live_calls(), 0);
     }
 
     #[test]

@@ -93,6 +93,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     m.tuples_patched.get(),
                     m.tuples_cancelled.get(),
                 );
+                println!(
+                    "reqsync: buffered={} (peak {})  stalls={} stall_p95={}",
+                    m.reqsync_buffered.get(),
+                    m.reqsync_buffered.high_water(),
+                    m.reqsync_stalls.get(),
+                    fmt(m.stall_duration.snapshot().quantile(0.95)),
+                );
             }
             continue;
         }

@@ -11,15 +11,27 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases.
+    /// A config running `cases` cases. As in real proptest, the
+    /// `PROPTEST_CASES` environment variable overrides the in-source
+    /// count — CI's nightly blitz uses it to multiply coverage without
+    /// touching the tests.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
+}
+
+/// The `PROPTEST_CASES` override, if set and parseable.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
 }
 
 /// A failed property case.
@@ -81,5 +93,24 @@ impl TestRng {
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proptest_cases_env_overrides_source_counts() {
+        // Set/remove within one test: no other test in this shim reads
+        // the variable, so there is no cross-test race.
+        std::env::set_var("PROPTEST_CASES", "400");
+        assert_eq!(ProptestConfig::with_cases(40).cases, 400);
+        assert_eq!(ProptestConfig::default().cases, 400);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::with_cases(40).cases, 40);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(ProptestConfig::with_cases(40).cases, 40);
+        assert_eq!(ProptestConfig::default().cases, 64);
     }
 }

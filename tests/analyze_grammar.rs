@@ -7,7 +7,8 @@
 //! pump_line   := "-- pump: registered=.. launched=.. completed=.. coalesced=..
 //!                 peak_in_flight=.. peak_queued=.."
 //! trace_line  := "-- trace: calls=.. call_p50=.. call_p95=.. call_max=..
-//!                 queue_p95=.. patch_p95=.. max_concurrent=.. events=.. dropped=.."
+//!                 queue_p95=.. patch_p95=.. max_concurrent=.. stalls=..
+//!                 stall_p95=.. buffered_hw=.. events=.. dropped=.."
 //! cache_line  := "-- cache[ENGINE]: hits=.. misses=.. coalesced=.. evictions=..
 //!                 expirations=.."
 //! verify_line := "-- verify: ok (..)" | "-- verify: FAILED: .."
@@ -167,6 +168,9 @@ fn analyze_report_matches_the_documented_grammar() {
             "queue_p95",
             "patch_p95",
             "max_concurrent",
+            "stalls",
+            "stall_p95",
+            "buffered_hw",
             "events",
             "dropped"
         ]

@@ -55,14 +55,31 @@ fn registry() -> EngineRegistry {
     engines
 }
 
-fn pump_with(max_concurrent: usize, coalesce: bool) -> Arc<ReqPump> {
+fn pump_with(max_concurrent: usize, coalesce: bool, jitter: bool) -> Arc<ReqPump> {
     let pump = ReqPump::new(PumpConfig {
         max_concurrent,
         coalesce,
         ..PumpConfig::default()
     });
-    pump.register_service("AV", web().engine(EngineKind::AltaVista));
-    pump.register_service("Google", web().engine(EngineKind::Google));
+    // Jittered latency makes completion *order* adversarial: calls
+    // finish in an order unrelated to registration order, which is what
+    // exercises the capped stall/drain loop's reordering tolerance.
+    let latency = if jitter {
+        LatencyModel::Jitter {
+            base: std::time::Duration::ZERO,
+            jitter: std::time::Duration::from_millis(1),
+        }
+    } else {
+        LatencyModel::Zero
+    };
+    pump.register_service(
+        "AV",
+        web().engine_with_latency(EngineKind::AltaVista, latency),
+    );
+    pump.register_service(
+        "Google",
+        web().engine_with_latency(EngineKind::Google, latency),
+    );
     pump
 }
 
@@ -192,9 +209,11 @@ proptest! {
             Just(PlacementStrategy::InsertionOnly)
         ],
         buffer in prop_oneof![Just(BufferMode::Full), Just(BufferMode::Streaming)],
+        cap in prop_oneof![Just(None), (1usize..12).prop_map(Some)],
+        jitter in any::<bool>(),
     ) {
         let db = fresh_db();
-        let pump = pump_with(max_concurrent, coalesce);
+        let pump = pump_with(max_concurrent, coalesce, jitter);
 
         let baseline = {
             let mut rows = run(&db, &pump, &q.sql, EngineOpts {
@@ -218,5 +237,68 @@ proptest! {
             strategy, buffer, max_concurrent, coalesce, q.sql);
         // No leaked pump registrations.
         prop_assert_eq!(pump.live_calls(), 0);
+
+        // Admission control is invisible in the results: the capped run
+        // returns the exact multiset the unbounded run did, for every
+        // cap >= 1, under both buffer modes.
+        let mut capped = run(&db, &pump, &q.sql, EngineOpts {
+            mode: ExecutionMode::Asynchronous,
+            strategy,
+            buffer,
+            reqsync_cap: cap,
+            ..Default::default()
+        });
+        if !q.ordered { capped.sort(); }
+        prop_assert_eq!(&capped, &got,
+            "cap={:?} changed results under ({:?},{:?},mc={},co={}): {}",
+            cap, strategy, buffer, max_concurrent, coalesce, q.sql);
+        prop_assert_eq!(pump.live_calls(), 0);
     }
+}
+
+/// The acceptance workload: the 50-state WebCount fan-out under latency
+/// high enough that the unbounded run buffers the whole fan-out, while
+/// `cap = 8` provably keeps occupancy at or below 8 — with byte-identical
+/// output and the buffer fully drained afterwards.
+#[test]
+fn cap_eight_bounds_the_fifty_state_fan_out() {
+    let query = "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                 ORDER BY Count DESC, Name";
+    let latency = LatencyModel::Jitter {
+        base: std::time::Duration::from_millis(1),
+        jitter: std::time::Duration::from_millis(2),
+    };
+    let mut unbounded = Wsq::open_in_memory(WsqConfig {
+        latency,
+        ..WsqConfig::fast()
+    })
+    .unwrap();
+    unbounded.load_reference_data().unwrap();
+    let baseline = unbounded.query(query).unwrap().to_table();
+    let um = unbounded.obs().metrics().unwrap();
+    assert!(
+        um.reqsync_buffered.high_water() > 8,
+        "workload too tame to exercise the cap (high-water {})",
+        um.reqsync_buffered.high_water()
+    );
+
+    let mut capped = Wsq::open_in_memory(WsqConfig {
+        latency,
+        reqsync_buffer_cap: Some(8),
+        ..WsqConfig::fast()
+    })
+    .unwrap();
+    capped.load_reference_data().unwrap();
+    let got = capped.query(query).unwrap().to_table();
+    assert_eq!(got, baseline, "cap=8 changed the result");
+
+    let m = capped.obs().metrics().unwrap();
+    assert!(
+        m.reqsync_buffered.high_water() <= 8,
+        "cap=8 exceeded: high-water {}",
+        m.reqsync_buffered.high_water()
+    );
+    assert!(m.reqsync_stalls.get() > 0, "fan-out of 50 never stalled");
+    assert_eq!(m.reqsync_buffered.get(), 0, "buffer not drained");
+    assert_eq!(capped.pump().live_calls(), 0);
 }

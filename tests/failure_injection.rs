@@ -77,6 +77,49 @@ fn partial_flakiness_fails_the_query_not_the_process() {
 }
 
 #[test]
+fn capped_query_failure_releases_every_buffer_slot() {
+    // A retry decorator that still exhausts its retries (100% failure
+    // under it) while a ReqSync cap is active: the error path must
+    // release every admitted buffer slot and every pump registration —
+    // a stuck stall here would hang this test, a missed release would
+    // leave the gauges non-zero.
+    let (mut wsq, flaky) = wsq_with_flaky(1000, Some(2));
+    let err = wsq
+        .query_with(
+            QUERY,
+            QueryOptions {
+                reqsync_cap: Some(4),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("503"), "{err}");
+    assert!(flaky.stats().failures >= 3, "retries never ran");
+
+    let m = wsq.obs().metrics().unwrap();
+    assert!(
+        m.reqsync_buffered.high_water() <= 4,
+        "cap=4 exceeded: high-water {}",
+        m.reqsync_buffered.high_water()
+    );
+    assert_eq!(
+        m.reqsync_buffered.get(),
+        0,
+        "failed query left buffer slots occupied"
+    );
+    // In-flight registrations drain once completions are delivered.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while (wsq.pump().live_calls() > 0 || m.in_flight.get() > 0) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(wsq.pump().live_calls(), 0, "leaked pump registrations");
+    assert_eq!(m.in_flight.get(), 0, "in-flight gauge did not drain");
+    // The instance is still usable afterwards.
+    let r = wsq.query("SELECT COUNT(*) FROM States").unwrap();
+    assert_eq!(r.rows[0].get(0).as_int().unwrap(), 50);
+}
+
+#[test]
 fn retries_restore_availability() {
     let (mut wsq, flaky) = wsq_with_flaky(300, Some(6));
     let r = wsq.query(QUERY).unwrap();
