@@ -10,9 +10,10 @@
 //! 2. **Locks across backend calls**: a `let`-bound lock guard
 //!    (`.lock()` / `.read()` / `.write()` at the end of the statement)
 //!    that is still live — same or deeper brace depth, no `drop(guard)`
-//!    — when a `.execute(` backend call appears. Holding a shard or
-//!    state lock across a (simulated-latency) web call is exactly the
-//!    serialization the PR-1 fast path removed; this keeps it removed.
+//!    — when a `.execute(` or `.execute_batch(` backend call appears.
+//!    Holding a shard or state lock across a (simulated-latency) web
+//!    call is exactly the serialization the PR-1 fast path removed;
+//!    this keeps it removed, for windowed dispatches too.
 //!
 //! The analysis is deliberately lexical: sources are stripped of
 //! comments, string/char literals, and `#[cfg(test)] mod` bodies first,
@@ -301,7 +302,8 @@ pub fn strip_tests(stripped: &str) -> String {
     out
 }
 
-/// A `let`-bound lock guard live across a `.execute(` backend call.
+/// A `let`-bound lock guard live across a `.execute(` /
+/// `.execute_batch(` backend call.
 ///
 /// Line-based heuristic: a guard is born on a line whose `let` statement
 /// *ends* in `.lock();` / `.read();` / `.write();` (so temporaries like
@@ -346,8 +348,10 @@ fn lock_violations(stripped: &str, path: &str) -> Vec<String> {
                 guards.remove(g_idx);
             }
         }
-        // Backend call while a guard is live?
-        if line.contains(".execute(") {
+        // Backend call while a guard is live? `.execute_batch(` is a
+        // separate lexical token (the windowed dispatch path) and must
+        // be matched explicitly.
+        if line.contains(".execute(") || line.contains(".execute_batch(") {
             for g in &guards {
                 violations.push(format!(
                     "{path}:{lineno}: backend call with lock guard `{}` \
@@ -412,6 +416,19 @@ fn bad(&self) {
 }
 "#;
         let lint = lint_source(src, "c.rs");
+        assert_eq!(lint.lock_violations.len(), 1, "{:?}", lint.lock_violations);
+    }
+
+    #[test]
+    fn flags_lock_held_across_batch_dispatch() {
+        let src = r#"
+fn bad(&self) {
+    let mut st = self.state.lock();
+    st.touch();
+    self.service.execute_batch(&reqs);
+}
+"#;
+        let lint = lint_source(src, "e.rs");
         assert_eq!(lint.lock_violations.len(), 1, "{:?}", lint.lock_violations);
     }
 

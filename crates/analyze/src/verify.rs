@@ -149,7 +149,7 @@ impl fmt::Display for Report {
 /// ```
 /// use wsq_analyze::verify;
 /// use wsq_common::Value;
-/// use wsq_engine::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, VTableKind};
+/// use wsq_engine::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PrefetchHint, VTableKind};
 ///
 /// // The minimal legal asynchronous plan: an AEVScan producing a
 /// // placeholder Count, patched by a covering ReqSync above it.
@@ -161,6 +161,7 @@ impl fmt::Display for Report {
 ///     bindings: vec![EvBinding::Const(Value::from("Utah"))],
 ///     rank_limit: 19,
 ///     supports_near: true,
+///     prefetch: PrefetchHint::default(),
 /// };
 /// let plan = PhysPlan::ReqSync {
 ///     attrs: spec.external_attrs(),
@@ -185,7 +186,7 @@ pub fn verify(plan: &PhysPlan) -> Result<Report, VerifyError> {
 /// ```
 /// use wsq_analyze::{verify, verify_async, Rule};
 /// use wsq_common::Value;
-/// use wsq_engine::plan::{EvBinding, EvSpec, PhysPlan, VTableKind};
+/// use wsq_engine::plan::{EvBinding, EvSpec, PhysPlan, PrefetchHint, VTableKind};
 ///
 /// // A blocking EVScan has no placeholders, so plain `verify` accepts
 /// // it — but it must not survive asyncification.
@@ -197,6 +198,7 @@ pub fn verify(plan: &PhysPlan) -> Result<Report, VerifyError> {
 ///     bindings: vec![EvBinding::Const(Value::from("Utah"))],
 ///     rank_limit: 19,
 ///     supports_near: true,
+///     prefetch: PrefetchHint::default(),
 /// });
 /// assert!(verify(&plan).is_ok());
 /// let err = verify_async(&plan).unwrap_err();

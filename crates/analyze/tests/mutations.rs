@@ -10,7 +10,9 @@
 use wsq_analyze::{apply_mutation, verify_async, Mutation, Rule, ALL_MUTATIONS};
 use wsq_common::{Column, DataType, Schema};
 use wsq_engine::asyncify;
-use wsq_engine::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, VTableKind};
+use wsq_engine::plan::{
+    BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, PrefetchHint, VTableKind,
+};
 use wsq_sql::ast::{BinOp, ColumnRef, Expr, Literal};
 
 fn states_scan() -> PhysPlan {
@@ -36,6 +38,7 @@ fn spec(alias: &str, kind: VTableKind) -> EvSpec {
         })],
         rank_limit: 3,
         supports_near: true,
+        prefetch: PrefetchHint::default(),
     }
 }
 

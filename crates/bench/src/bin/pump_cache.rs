@@ -204,6 +204,87 @@ fn measure_cap_ablation(rounds: usize) -> Vec<CapAblation> {
         .collect()
 }
 
+struct PrefetchAblation {
+    depth: usize,
+    window: usize,
+    adaptive: bool,
+    median_ms: f64,
+    prefetch_issued: u64,
+    prefetch_wasted: u64,
+    batches: u64,
+    identical_rows: bool,
+}
+
+/// The ahead-of-need prefetch ablation (DESIGN.md §12): the 50-state
+/// WebCount fan-out under jittered latency with a binding ReqSync cap of
+/// 4, across prefetch depth 0 (demand-driven), 4, and adaptive (cap 16,
+/// clamped to the admission cap) × submission window 1 and 8. The cap
+/// stalls the demand-driven join at ~4 overlapped calls; prefetch keeps
+/// `depth` additional registrations in flight ahead of demand, so depth 4
+/// roughly doubles the overlap. Rows must be byte-identical across every
+/// configuration.
+fn measure_prefetch_ablation(rounds: usize) -> Vec<PrefetchAblation> {
+    use wsq_core::{QueryOptions, Wsq, WsqConfig};
+    use wsq_websim::LatencyModel;
+    let query = "SELECT Name, Count FROM States, WebCount WHERE Name = T1 \
+                 ORDER BY Count DESC, Name";
+    let latency = LatencyModel::Jitter {
+        base: Duration::from_millis(1),
+        jitter: Duration::from_millis(2),
+    };
+    let mut reference: Option<String> = None;
+    let mut out = Vec::new();
+    for (depth, adaptive) in [(0usize, false), (4, false), (16, true)] {
+        for window in [1usize, 8] {
+            let mut wsq = Wsq::open_in_memory(WsqConfig {
+                latency,
+                pump: PumpConfig {
+                    submission_window: window,
+                    ..PumpConfig::default()
+                },
+                ..WsqConfig::fast()
+            })
+            .expect("open wsq");
+            wsq.load_reference_data().expect("reference data");
+            let opts = QueryOptions {
+                reqsync_cap: Some(4),
+                prefetch_depth: depth,
+                prefetch_window: window,
+                prefetch_adaptive: adaptive,
+                ..Default::default()
+            };
+            let mut identical_rows = true;
+            let mut samples: Vec<f64> = (0..rounds)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    let rows = wsq
+                        .query_with(query, opts)
+                        .expect("fan-out query")
+                        .to_table();
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    match &reference {
+                        Some(r) => identical_rows &= rows == *r,
+                        None => reference = Some(rows),
+                    }
+                    ms
+                })
+                .collect();
+            let m = wsq.obs().metrics().expect("obs enabled by default");
+            out.push(PrefetchAblation {
+                depth,
+                window,
+                adaptive,
+                median_ms: median(&mut samples),
+                prefetch_issued: m.prefetch_issued.get(),
+                prefetch_wasted: m.prefetch_wasted.get(),
+                batches: wsq.pump().stats().batches,
+                identical_rows,
+            });
+        }
+    }
+    out
+}
+
 /// Time pump register/wait/release churn across threads.
 fn measure_pump_churn(threads: usize, calls: usize, rounds: usize) -> f64 {
     let pump = ReqPump::new(PumpConfig {
@@ -292,6 +373,9 @@ fn main() {
     eprintln!("... reqsync cap ablation");
     let caps = measure_cap_ablation(rounds);
 
+    eprintln!("... prefetch ablation");
+    let prefetch = measure_prefetch_ablation(rounds);
+
     // Render the report.
     println!(
         "{:<16}{:>8}{:>10}{:>12}{:>14}",
@@ -333,6 +417,29 @@ fn main() {
         );
     }
 
+    let demand_ms = prefetch
+        .iter()
+        .find(|p| p.depth == 0 && p.window == 1)
+        .map_or(f64::NAN, |p| p.median_ms);
+    for p in &prefetch {
+        let label = if p.adaptive {
+            "adaptive".to_string()
+        } else {
+            p.depth.to_string()
+        };
+        println!(
+            "prefetch ablation depth={label} window={}: {:.3} ms ({:+.1}% vs demand-driven), \
+             issued {}, wasted {}, {} batches, identical={}",
+            p.window,
+            p.median_ms,
+            (p.median_ms - demand_ms) / demand_ms * 100.0,
+            p.prefetch_issued,
+            p.prefetch_wasted,
+            p.batches,
+            p.identical_rows,
+        );
+    }
+
     // Speedups of sharded over coarse per (workload, threads).
     let speedup = |wname: &str, threads: usize| -> f64 {
         let find = |imp: &str| {
@@ -347,6 +454,14 @@ fn main() {
 
     // Hand-rolled JSON: the workspace intentionally has no serde.
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    if cores == 1 {
+        println!(
+            "\nWARNING: single-core host (config.cores == 1) — contention and \
+             overlap numbers are not representative; treat every speedup and \
+             the prefetch ablation as smoke coverage only."
+        );
+        eprintln!("WARNING: single-core host; timings are smoke coverage only");
+    }
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"config\": {{\"quick\": {quick}, \"ops_per_thread\": {ops}, \
@@ -422,6 +537,31 @@ fn main() {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"prefetch_ablation\": {\n    \"cap\": 4,\n    \"runs\": [\n");
+    for (i, p) in prefetch.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"depth\": {}, \"window\": {}, \"adaptive\": {}, \
+             \"median_ms\": {}, \"prefetch_issued\": {}, \"prefetch_wasted\": {}, \
+             \"batches\": {}, \"identical_rows\": {}}}{}\n",
+            p.depth,
+            p.window,
+            p.adaptive,
+            json_f(p.median_ms),
+            p.prefetch_issued,
+            p.prefetch_wasted,
+            p.batches,
+            p.identical_rows,
+            if i + 1 == prefetch.len() { "" } else { "," }
+        ));
+    }
+    let best = prefetch
+        .iter()
+        .find(|p| p.depth == 4 && p.window == 8)
+        .map_or(f64::NAN, |p| p.median_ms);
+    out.push_str(&format!(
+        "    ],\n    \"reduction_pct_depth4_window8\": {}\n  }},\n",
+        json_f((demand_ms - best) / demand_ms * 100.0)
+    ));
     // Registry snapshot from the obs-enabled ablation run, so a bench
     // artifact also records what the workload did (hits, misses,
     // coalesced waits) — not just how fast it did it.
@@ -430,6 +570,13 @@ fn main() {
     std::fs::write("BENCH_pump_cache.json", &out).expect("write BENCH_pump_cache.json");
     eprintln!("wrote BENCH_pump_cache.json");
     assert!(sf.verified, "single-flight invariant violated");
+    for p in &prefetch {
+        assert!(
+            p.identical_rows,
+            "prefetch depth={} window={} changed the fan-out's rows",
+            p.depth, p.window
+        );
+    }
     for c in &caps {
         assert!(
             c.identical_rows,

@@ -20,7 +20,7 @@
 //! (case 1). Flushing merges every pending `Sync` into a **single**
 //! ReqSync — which is exactly Consolidation.
 
-use crate::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy};
+use crate::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, PrefetchHint};
 use wsq_sql::ast::{ColumnRef, Expr};
 
 /// Rewrite a synchronous plan into its asynchronous-iteration form.
@@ -37,10 +37,34 @@ pub fn asyncify_with_cap(
     mode: BufferMode,
     cap: Option<usize>,
 ) -> PhysPlan {
+    asyncify_with_opts(plan, strategy, mode, cap, PrefetchHint::default())
+}
+
+/// [`asyncify_with_cap`], additionally stamping a [`PrefetchHint`] onto
+/// every emitted `AEVScan` (DESIGN.md §12). The requested depth is
+/// clamped against the ReqSync admission cap: a prefetching join may
+/// never hold more registered-but-undemanded calls than the §11 stall
+/// handshake would have admitted, so `depth <= cap` whenever a cap is
+/// set. The window is normalized to at least 1.
+pub fn asyncify_with_opts(
+    plan: PhysPlan,
+    strategy: PlacementStrategy,
+    mode: BufferMode,
+    cap: Option<usize>,
+    prefetch: PrefetchHint,
+) -> PhysPlan {
     let mut ctx = Ctx {
         strategy,
         mode,
         cap,
+        prefetch: PrefetchHint {
+            depth: match cap {
+                Some(c) => prefetch.depth.min(c),
+                None => prefetch.depth,
+            },
+            window: prefetch.window.max(1),
+            adaptive: prefetch.adaptive,
+        },
     };
     let (core, pending) = ctx.lift(plan);
     consolidate_adjacent(ctx.flush(core, pending))
@@ -169,6 +193,7 @@ struct Ctx {
     strategy: PlacementStrategy,
     mode: BufferMode,
     cap: Option<usize>,
+    prefetch: PrefetchHint,
 }
 
 /// Case-insensitive column-reference equality (SQL identifier semantics).
@@ -247,7 +272,10 @@ impl Ctx {
 
             // Insertion: every external scan becomes asynchronous, with a
             // ReqSync born directly above it (here: as a pending item).
+            // The scan also receives the (cap-clamped) prefetch hint.
             PhysPlan::EVScan(spec) | PhysPlan::AEVScan(spec) => {
+                let mut spec = spec;
+                spec.prefetch = self.prefetch;
                 let attrs = spec.external_attrs();
                 (PhysPlan::AEVScan(spec), vec![Pending::Sync(attrs)])
             }
@@ -679,6 +707,7 @@ mod tests {
             })],
             rank_limit: 19,
             supports_near: true,
+            prefetch: PrefetchHint::default(),
         })
     }
 
@@ -694,6 +723,7 @@ mod tests {
             })],
             rank_limit: 3,
             supports_near: true,
+            prefetch: PrefetchHint::default(),
         })
     }
 
@@ -878,6 +908,7 @@ mod tests {
             })],
             rank_limit: 19,
             supports_near: true,
+            prefetch: PrefetchHint::default(),
         });
         let plan = dj(
             dj(
@@ -996,6 +1027,62 @@ mod tests {
         };
         let out = asyncify(plan.clone(), PlacementStrategy::Full, BufferMode::Full);
         assert_eq!(out, plan);
+    }
+
+    /// The prefetch hint is stamped onto every AEVScan, with its depth
+    /// clamped to the ReqSync admission cap and its window floored at 1.
+    #[test]
+    fn prefetch_hint_stamped_and_clamped() {
+        let plan = dj(
+            scan("Sigs", &["Name"]),
+            webcount("WebCount", ("Sigs", "Name")),
+        );
+        let hint = PrefetchHint {
+            depth: 16,
+            window: 0,
+            adaptive: true,
+        };
+        let out = asyncify_with_opts(
+            plan.clone(),
+            PlacementStrategy::Full,
+            BufferMode::Full,
+            Some(4),
+            hint,
+        );
+        let seen = out.count_nodes(&|p| {
+            if let PhysPlan::AEVScan(spec) = p {
+                assert_eq!(spec.prefetch.depth, 4, "depth must clamp to cap");
+                assert_eq!(spec.prefetch.window, 1, "window floors at 1");
+                assert!(spec.prefetch.adaptive);
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(seen, 1);
+
+        // Uncapped: the requested depth survives; plain asyncify leaves
+        // prefetch off.
+        let out = asyncify_with_opts(
+            plan.clone(),
+            PlacementStrategy::Full,
+            BufferMode::Full,
+            None,
+            hint,
+        );
+        out.count_nodes(&|p| {
+            if let PhysPlan::AEVScan(spec) = p {
+                assert_eq!(spec.prefetch.depth, 16);
+            }
+            false
+        });
+        let out = asyncify(plan, PlacementStrategy::Full, BufferMode::Full);
+        out.count_nodes(&|p| {
+            if let PhysPlan::AEVScan(spec) = p {
+                assert_eq!(spec.prefetch, PrefetchHint::default());
+            }
+            false
+        });
     }
 
     /// Asyncify is idempotent on already-asynchronous plans.

@@ -11,7 +11,7 @@
 
 use crate::catalog::Catalog;
 use crate::engines::EngineRegistry;
-use crate::plan::{EvBinding, EvSpec, PhysPlan, VTableKind};
+use crate::plan::{EvBinding, EvSpec, PhysPlan, PrefetchHint, VTableKind};
 use wsq_common::{Result, Schema, WsqError};
 use wsq_sql::ast::{AggFunc, BinOp, ColumnRef, Expr, Literal, SelectItem, SelectStmt};
 
@@ -598,6 +598,7 @@ fn analyze_virtual(
         bindings,
         rank_limit: rank_limit.unwrap_or(DEFAULT_RANK_LIMIT),
         supports_near,
+        prefetch: PrefetchHint::default(),
     })
 }
 

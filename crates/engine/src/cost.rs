@@ -46,6 +46,27 @@ impl Default for CostParams {
     }
 }
 
+impl CostParams {
+    /// Calibrate the model from live observability data: the median of
+    /// the `wsq_call_latency_seconds` histogram replaces the paper's
+    /// fixed 1-second guess, so rankings track the latency the deployed
+    /// services actually exhibit. Falls back to [`CostParams::default`]
+    /// for any parameter the registry cannot supply (obs disabled, or no
+    /// completed calls yet).
+    pub fn calibrated(obs: &wsq_obs::Obs, max_concurrent: usize) -> CostParams {
+        let mut p = CostParams {
+            max_concurrent: max_concurrent.max(1),
+            ..CostParams::default()
+        };
+        if let Some(m) = obs.metrics() {
+            if let Some(p50) = m.call_latency.snapshot().quantile(0.5) {
+                p.latency_secs = p50.as_secs_f64().max(1e-6);
+            }
+        }
+        p
+    }
+}
+
 /// The model's output for one plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostEstimate {
@@ -272,6 +293,17 @@ fn walk(plan: &PhysPlan, tables: &dyn TableSource) -> Acc {
     }
 }
 
+/// Estimate a plan's cost using parameters calibrated from the live obs
+/// registry (see [`CostParams::calibrated`]).
+pub fn estimate_calibrated(
+    plan: &PhysPlan,
+    tables: &dyn TableSource,
+    obs: &wsq_obs::Obs,
+    max_concurrent: usize,
+) -> CostEstimate {
+    estimate(plan, tables, &CostParams::calibrated(obs, max_concurrent))
+}
+
 /// Estimate a plan's cost. `tables` supplies stored-table cardinalities.
 pub fn estimate(plan: &PhysPlan, tables: &dyn TableSource, params: &CostParams) -> CostEstimate {
     let a = walk(plan, tables);
@@ -299,5 +331,44 @@ pub fn estimate(plan: &PhysPlan, tables: &dyn TableSource, params: &CostParams) 
         sync_secs,
         async_secs,
         local_secs: a.local_rows * params.local_row_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn calibration_uses_observed_median_latency() {
+        let obs = wsq_obs::Obs::enabled();
+        let m = obs.metrics().unwrap();
+        for _ in 0..20 {
+            m.call_latency.observe(Duration::from_millis(80));
+        }
+        let p = CostParams::calibrated(&obs, 32);
+        assert_eq!(p.max_concurrent, 32);
+        // The p50 interpolates within the (50ms, 100ms] bucket — far from
+        // the 1-second default, close to the observed 80ms.
+        assert!(
+            p.latency_secs > 0.01 && p.latency_secs < 0.2,
+            "latency_secs = {}",
+            p.latency_secs
+        );
+        // Untouched parameters keep their defaults.
+        assert_eq!(p.local_row_secs, CostParams::default().local_row_secs);
+    }
+
+    #[test]
+    fn calibration_falls_back_without_samples() {
+        let d = CostParams::default();
+        assert_eq!(
+            CostParams::calibrated(&wsq_obs::Obs::disabled(), 64).latency_secs,
+            d.latency_secs
+        );
+        assert_eq!(
+            CostParams::calibrated(&wsq_obs::Obs::enabled(), 0).max_concurrent,
+            1
+        );
     }
 }

@@ -35,6 +35,18 @@ pub struct QueryOptions {
     /// external calls register — until completions drain it below the
     /// low-water mark (half the cap).
     pub reqsync_cap: Option<usize>,
+    /// Ahead-of-need prefetch lookahead per dependent join (asynchronous
+    /// mode only; `0` disables). Clamped to `reqsync_cap` by the planner
+    /// so prefetch can never admit calls admission control would refuse.
+    pub prefetch_depth: usize,
+    /// Per-destination submission-window advice stamped into the plan
+    /// (`1` = per-request dispatch). The pump's own
+    /// `PumpConfig::submission_window` governs actual batching; this
+    /// field only records the planner's intent in the `PrefetchHint`.
+    pub prefetch_window: usize,
+    /// Let the histogram-driven controller vary the lookahead between 1
+    /// and `prefetch_depth` (no effect while `prefetch_depth` is 0).
+    pub prefetch_adaptive: bool,
 }
 
 impl Default for QueryOptions {
@@ -45,6 +57,9 @@ impl Default for QueryOptions {
             buffer: BufferMode::default(),
             parallel_threads: 16,
             reqsync_cap: None,
+            prefetch_depth: 0,
+            prefetch_window: 1,
+            prefetch_adaptive: false,
         }
     }
 }
@@ -505,11 +520,16 @@ impl Database {
         Ok(match opts.mode {
             ExecutionMode::Synchronous => plan,
             ExecutionMode::Asynchronous => {
-                let plan = crate::asyncify::asyncify_with_cap(
+                let plan = crate::asyncify::asyncify_with_opts(
                     plan,
                     opts.strategy,
                     opts.buffer,
                     opts.reqsync_cap,
+                    crate::plan::PrefetchHint {
+                        depth: opts.prefetch_depth,
+                        window: opts.prefetch_window,
+                        adaptive: opts.prefetch_adaptive,
+                    },
                 );
                 // Debug-assert gate: the placeholder-dataflow verifier
                 // (wsq-analyze) rejects any clash-rule violation the

@@ -9,7 +9,7 @@ use wsq_pump::{
     blocking_execute, ReqPump, RequestKind, SearchRequest, SearchResult, SearchService,
 };
 
-fn request_for(spec: &EvSpec, expr: String) -> SearchRequest {
+pub(crate) fn request_for(spec: &EvSpec, expr: String) -> SearchRequest {
     SearchRequest {
         engine: spec.engine.clone(),
         expr,

@@ -1,10 +1,17 @@
 //! Join executors: nested-loop join / cross product, and the dependent
-//! join that feeds bindings to virtual-table scans.
+//! join that feeds bindings to virtual-table scans — including the
+//! ahead-of-need prefetch driver (DESIGN.md §12) that pulls outer tuples
+//! before ReqSync demands them and registers their calls in one batch.
 
+use super::external::request_for;
 use super::Executor;
 use crate::expr::{compile, CExpr};
-use crate::plan::{EvBinding, EvSpec};
-use wsq_common::{Result, Schema, Tuple, Value};
+use crate::plan::{EvBinding, EvSpec, PrefetchHint};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use wsq_common::{CallId, Result, Schema, Tuple, Value};
+use wsq_obs::{EventKind, HistogramSnapshot};
+use wsq_pump::ReqPump;
 use wsq_sql::ast::Expr;
 
 /// Inner nested-loop join (predicate `None` = cross product).
@@ -95,8 +102,108 @@ impl Executor for NestedLoopJoinExec {
     }
 }
 
+/// One outer tuple pulled ahead of demand: its binding values and the
+/// call registered for it (`None` when the bindings were unresolved
+/// placeholders — the demand path will surface the error).
+struct Prefetched {
+    tuple: Tuple,
+    values: Vec<Value>,
+    call: Option<CallId>,
+}
+
+/// Snapshot baseline for the histogram-driven depth controller.
+struct AdaptiveDepth {
+    last_call: HistogramSnapshot,
+    last_queue: HistogramSnapshot,
+}
+
+/// Ahead-of-need prefetch state for one dependent join (DESIGN.md §12).
+///
+/// Only constructed when the planner stamped a non-zero depth AND the
+/// pump coalesces identical requests — prefetch relies on the demand-side
+/// `AEVScan` registration attaching to the call this driver started, so
+/// without coalescing every prefetch would be a duplicate backend call.
+struct Prefetcher {
+    pump: Arc<ReqPump>,
+    spec: EvSpec,
+    hint: PrefetchHint,
+    /// Current lookahead target, in `[1, hint.depth]`; fixed at
+    /// `hint.depth` unless `hint.adaptive`.
+    depth: usize,
+    lookahead: VecDeque<Prefetched>,
+    left_done: bool,
+    adaptive: AdaptiveDepth,
+}
+
+impl Prefetcher {
+    fn new(pump: Arc<ReqPump>, spec: EvSpec) -> Self {
+        let hint = spec.prefetch;
+        // Baseline the controller at construction so its windows cover
+        // only this query's activity, not process history.
+        let (last_call, last_queue) = match pump.obs().metrics() {
+            Some(m) => (m.call_latency.snapshot(), m.queue_delay.snapshot()),
+            None => (HistogramSnapshot::empty(), HistogramSnapshot::empty()),
+        };
+        Prefetcher {
+            pump,
+            spec,
+            hint,
+            depth: hint.depth,
+            lookahead: VecDeque::new(),
+            left_done: false,
+            adaptive: AdaptiveDepth {
+                last_call,
+                last_queue,
+            },
+        }
+    }
+
+    /// Histogram-driven depth control: once per drain cycle, read the
+    /// per-window `wsq_call_latency_seconds` / `wsq_queue_delay_seconds`
+    /// deltas from the obs registry. Queue delay dominating call latency
+    /// means launches are waiting on capacity — prefetching further ahead
+    /// only lengthens the queue, so narrow. Queue delay well under call
+    /// latency means the pump has headroom — widen. No-op on empty
+    /// windows or when the hint is not adaptive.
+    fn adapt(&mut self) {
+        if !self.hint.adaptive {
+            return;
+        }
+        let Some(m) = self.pump.obs().metrics() else {
+            return;
+        };
+        let call = m.call_latency.snapshot();
+        let queue = m.queue_delay.snapshot();
+        let call_win = call.delta(&self.adaptive.last_call);
+        let queue_win = queue.delta(&self.adaptive.last_queue);
+        if call_win.count == 0 || queue_win.count == 0 {
+            return;
+        }
+        self.adaptive.last_call = call;
+        self.adaptive.last_queue = queue;
+        let (Some(call_p50), Some(queue_p95)) = (call_win.quantile(0.5), queue_win.quantile(0.95))
+        else {
+            return;
+        };
+        if queue_p95 > call_p50 {
+            self.depth = (self.depth / 2).max(1);
+        } else if queue_p95 * 2 < call_p50 {
+            self.depth = (self.depth * 2).min(self.hint.depth);
+        }
+    }
+}
+
 /// The dependent join (paper §4, FLMS99): for each outer tuple, compute
 /// the binding values and re-open the inner virtual scan with them.
+///
+/// With a [`PrefetchHint`] (via [`DependentJoinExec::with_pump`]) the
+/// join additionally pulls up to `depth` outer tuples ahead of demand,
+/// registering their calls immediately (one `register_batch` per refill)
+/// so the pump overlaps them while upstream operators are still busy.
+/// The demand-side `AEVScan` later coalesces onto the prefetched call;
+/// the prefetch reference is dropped as soon as that happens, and any
+/// still-unconsumed references are released at close/drop time (counted
+/// as `wsq_prefetch_wasted_total`), so prefetch never leaks a call.
 pub struct DependentJoinExec {
     left: Box<dyn Executor>,
     right: Box<dyn Executor>,
@@ -104,6 +211,11 @@ pub struct DependentJoinExec {
     slots: Vec<BindingSlot>,
     schema: Schema,
     outer: Option<Tuple>,
+    prefetch: Option<Prefetcher>,
+    /// Prefetch reference for the outer tuple currently being joined;
+    /// released after the inner scan's first `next` (which is when its
+    /// own registration coalesces onto the call).
+    current_call: Option<CallId>,
 }
 
 enum BindingSlot {
@@ -133,7 +245,117 @@ impl DependentJoinExec {
             slots,
             schema,
             outer: None,
+            prefetch: None,
+            current_call: None,
         })
+    }
+
+    /// Like [`DependentJoinExec::new`], but enables ahead-of-need
+    /// prefetch when `spec.prefetch.depth > 0` and the pump coalesces
+    /// identical requests (without coalescing the demand-side scan could
+    /// not attach to the prefetched call and every search would run
+    /// twice).
+    pub fn with_pump(
+        left: Box<dyn Executor>,
+        right: Box<dyn Executor>,
+        spec: &EvSpec,
+        pump: Arc<ReqPump>,
+    ) -> Result<Self> {
+        let mut join = Self::new(left, right, spec)?;
+        if spec.prefetch.depth > 0 && pump.coalescing_enabled() {
+            join.prefetch = Some(Prefetcher::new(pump, spec.clone()));
+        }
+        Ok(join)
+    }
+
+    /// Pull outer tuples until the lookahead holds `depth` entries (or
+    /// the outer side is exhausted) and register their calls as ONE
+    /// batch. Speculative by design: a `LIMIT` above may never demand
+    /// these tuples, which is exactly what `wsq_prefetch_wasted_total`
+    /// measures.
+    fn refill_lookahead(&mut self) -> Result<()> {
+        let Some(pf) = self.prefetch.as_mut() else {
+            return Ok(());
+        };
+        if pf.left_done {
+            return Ok(());
+        }
+        pf.adapt();
+        let mut pulled: Vec<(Tuple, Vec<Value>, Option<usize>)> = Vec::new();
+        let mut reqs = Vec::new();
+        while pf.lookahead.len() + pulled.len() < pf.depth {
+            match self.left.next()? {
+                Some(t) => {
+                    let values: Vec<Value> = self
+                        .slots
+                        .iter()
+                        .map(|s| match s {
+                            BindingSlot::Const(v) => v.clone(),
+                            BindingSlot::Idx(i) => t.get(*i).clone(),
+                        })
+                        .collect();
+                    // An unresolved placeholder binding cannot be
+                    // instantiated; enqueue without a call and let the
+                    // demand-side scan report it (asyncify's clash rules
+                    // make this unreachable for planner-built trees).
+                    let req_idx = if values.iter().any(|v| v.is_pending()) {
+                        None
+                    } else {
+                        reqs.push(request_for(&pf.spec, pf.spec.instantiate(&values)));
+                        Some(reqs.len() - 1)
+                    };
+                    pulled.push((t, values, req_idx));
+                }
+                None => {
+                    pf.left_done = true;
+                    break;
+                }
+            }
+        }
+        if pulled.is_empty() {
+            return Ok(());
+        }
+        let ids = pf.pump.register_batch(reqs)?;
+        let obs = pf.pump.obs();
+        if let Some(m) = obs.metrics() {
+            m.prefetch_issued.add(ids.len() as u64);
+        }
+        for cid in &ids {
+            obs.event(*cid, EventKind::PrefetchIssued);
+        }
+        for (tuple, values, req_idx) in pulled {
+            pf.lookahead.push_back(Prefetched {
+                tuple,
+                values,
+                call: req_idx.map(|i| ids[i]),
+            });
+        }
+        Ok(())
+    }
+
+    /// Release every prefetch reference not yet handed to the demand
+    /// path and count them wasted. Idempotent (close followed by drop is
+    /// a no-op the second time).
+    fn release_unconsumed(&mut self) {
+        let Some(pf) = self.prefetch.as_mut() else {
+            return;
+        };
+        let mut wasted = 0u64;
+        if let Some(cid) = self.current_call.take() {
+            pf.pump.release(cid);
+            wasted += 1;
+        }
+        while let Some(p) = pf.lookahead.pop_front() {
+            if let Some(cid) = p.call {
+                pf.pump.release(cid);
+                wasted += 1;
+            }
+        }
+        if wasted > 0 {
+            if let Some(m) = pf.pump.obs().metrics() {
+                m.prefetch_wasted.add(wasted);
+            }
+        }
     }
 }
 
@@ -143,6 +365,11 @@ impl Executor for DependentJoinExec {
     }
 
     fn open(&mut self) -> Result<()> {
+        self.release_unconsumed();
+        if let Some(pf) = self.prefetch.as_mut() {
+            pf.left_done = false;
+            pf.depth = pf.hint.depth;
+        }
         self.left.open()?;
         self.outer = None;
         Ok(())
@@ -150,8 +377,26 @@ impl Executor for DependentJoinExec {
 
     fn next(&mut self) -> Result<Option<Tuple>> {
         loop {
+            if self.outer.is_none() {
+                self.refill_lookahead()?;
+            }
             let outer = match self.outer.take() {
                 Some(t) => t,
+                None if self.prefetch.is_some() => {
+                    let popped = self
+                        .prefetch
+                        .as_mut()
+                        .and_then(|pf| pf.lookahead.pop_front());
+                    match popped {
+                        Some(p) => {
+                            self.current_call = p.call;
+                            self.right.rebind(&p.values)?;
+                            self.right.open()?;
+                            p.tuple
+                        }
+                        None => return Ok(None),
+                    }
+                }
                 None => match self.left.next()? {
                     Some(t) => {
                         let values: Vec<Value> = self
@@ -169,7 +414,16 @@ impl Executor for DependentJoinExec {
                     None => return Ok(None),
                 },
             };
-            match self.right.next()? {
+            let step = self.right.next();
+            // The inner scan registers its call on its first `next`
+            // (coalescing onto the prefetched one, since we still hold a
+            // reference); our reference is now redundant.
+            if let Some(cid) = self.current_call.take() {
+                if let Some(pf) = self.prefetch.as_ref() {
+                    pf.pump.release(cid);
+                }
+            }
+            match step? {
                 Some(r) => {
                     let joined = outer.join(&r);
                     self.outer = Some(outer);
@@ -181,6 +435,16 @@ impl Executor for DependentJoinExec {
     }
 
     fn close(&mut self) -> Result<()> {
+        self.release_unconsumed();
         self.left.close()
+    }
+}
+
+impl Drop for DependentJoinExec {
+    fn drop(&mut self) {
+        // A query aborting mid-stream (error, LIMIT, client gone) drops
+        // the executor tree without `close`; prefetched calls must still
+        // drain so pump gauges return to zero.
+        self.release_unconsumed();
     }
 }

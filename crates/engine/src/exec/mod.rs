@@ -171,15 +171,22 @@ fn build_node(
         PhysPlan::DependentJoin { left, right } => {
             let l = build(left)?;
             let r = build(right)?;
-            let spec = match right.as_ref() {
-                PhysPlan::EVScan(s) | PhysPlan::AEVScan(s) => s.clone(),
-                other => {
-                    return Err(WsqError::Plan(format!(
-                        "dependent join inner must be a virtual scan, got:\n{other}"
-                    )))
-                }
-            };
-            Ok(Box::new(DependentJoinExec::new(l, r, &spec)?))
+            match right.as_ref() {
+                // Only the asynchronous scan can profit from prefetch
+                // (the pump coalesces the demand-side registration onto
+                // the prefetched call); whether it actually engages is
+                // decided by the spec's stamped hint inside `with_pump`.
+                PhysPlan::AEVScan(s) => Ok(Box::new(DependentJoinExec::with_pump(
+                    l,
+                    r,
+                    s,
+                    ctx.pump.clone(),
+                )?)),
+                PhysPlan::EVScan(s) => Ok(Box::new(DependentJoinExec::new(l, r, s)?)),
+                other => Err(WsqError::Plan(format!(
+                    "dependent join inner must be a virtual scan, got:\n{other}"
+                ))),
+            }
         }
         PhysPlan::ParallelDependentJoin {
             left,

@@ -187,6 +187,7 @@ mod tests {
             })],
             rank_limit: 19,
             supports_near: true,
+            prefetch: crate::plan::PrefetchHint::default(),
         }
     }
 

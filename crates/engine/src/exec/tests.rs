@@ -3,7 +3,7 @@
 //! carrying other pending calls).
 
 use super::*;
-use crate::plan::{BufferMode, EvBinding, EvSpec, VTableKind};
+use crate::plan::{BufferMode, EvBinding, EvSpec, PrefetchHint, VTableKind};
 use std::sync::Arc;
 use wsq_common::{Column, DataType, Schema, Tuple, Value};
 use wsq_pump::{
@@ -288,6 +288,7 @@ fn pages_spec(alias: &str) -> EvSpec {
         })],
         rank_limit: 3,
         supports_near: true,
+        prefetch: PrefetchHint::default(),
     }
 }
 
@@ -454,6 +455,7 @@ fn evscan_standalone_with_constant_bindings() {
         bindings: vec![EvBinding::Const(Value::from("hello"))],
         rank_limit: 19,
         supports_near: true,
+        prefetch: PrefetchHint::default(),
     };
     let left = rows(Schema::empty(), vec![vec![]]);
     let scan = Box::new(EVScanExec::new(spec.clone(), Arc::new(Scripted)));

@@ -71,6 +71,36 @@ pub enum EvBinding {
     Column(ColumnRef),
 }
 
+/// Ahead-of-need prefetch parameters stamped onto an [`PhysPlan::AEVScan`]
+/// by the asyncify pass (DESIGN.md §12).
+///
+/// `depth` is the number of outer tuples a dependent join may pull (and
+/// register calls for) *ahead* of what its consumer has demanded; `0`
+/// disables prefetch and keeps the paper's purely demand-driven
+/// registration. `window` is forwarded to the pump's submission-window
+/// configuration hint (per-destination batched dispatch). `adaptive`
+/// turns `depth` into an upper bound steered at runtime by the
+/// `AdaptiveDepth` controller from the live latency histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchHint {
+    /// Maximum outer tuples pulled ahead of demand (0 = off).
+    pub depth: usize,
+    /// Preferred submission-window size for this scan's destination.
+    pub window: usize,
+    /// Steer the effective depth from live latency histograms.
+    pub adaptive: bool,
+}
+
+impl Default for PrefetchHint {
+    fn default() -> Self {
+        PrefetchHint {
+            depth: 0,
+            window: 1,
+            adaptive: false,
+        }
+    }
+}
+
 /// Specification of an external virtual table scan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvSpec {
@@ -89,6 +119,9 @@ pub struct EvSpec {
     pub rank_limit: u32,
     /// Does the engine support `NEAR`? Decides the default template form.
     pub supports_near: bool,
+    /// Ahead-of-need prefetch parameters (asyncify stamps these; the
+    /// default is off). Not rendered in EXPLAIN output.
+    pub prefetch: PrefetchHint,
 }
 
 impl EvSpec {
@@ -621,6 +654,7 @@ mod tests {
             ],
             rank_limit: 19,
             supports_near: near,
+            prefetch: PrefetchHint::default(),
         }
     }
 

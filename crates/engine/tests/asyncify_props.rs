@@ -20,7 +20,9 @@
 use proptest::prelude::*;
 use wsq_common::{Column, DataType, Schema};
 use wsq_engine::asyncify;
-use wsq_engine::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, VTableKind};
+use wsq_engine::plan::{
+    BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, PrefetchHint, VTableKind,
+};
 use wsq_sql::ast::{BinOp, ColumnRef, Expr};
 
 /// Tables available to the generator (name, columns).
@@ -70,6 +72,7 @@ fn arb_plan(depth: u32) -> BoxedStrategy<PhysPlan> {
                 })],
                 rank_limit: 3,
                 supports_near: true,
+                prefetch: PrefetchHint::default(),
             };
             PhysPlan::DependentJoin {
                 left: Box::new(left),
@@ -350,6 +353,7 @@ fn count_spec(alias: &str) -> EvSpec {
         })],
         rank_limit: 3,
         supports_near: true,
+        prefetch: PrefetchHint::default(),
     }
 }
 

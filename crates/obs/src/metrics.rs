@@ -356,6 +356,11 @@ pub struct WellKnown {
     /// Admission-control stalls: times a capped ReqSync stopped pulling
     /// from its child because its buffer was full.
     pub reqsync_stalls: Arc<Counter>,
+    /// External calls registered ahead of demand by a prefetching scan.
+    pub prefetch_issued: Arc<Counter>,
+    /// Prefetched calls whose tuple was never consumed (released on
+    /// close/error without being demanded).
+    pub prefetch_wasted: Arc<Counter>,
     /// Launch → completion latency per call.
     pub call_latency: Arc<Histogram>,
     /// Registration → launch delay per call (capacity wait).
@@ -366,6 +371,10 @@ pub struct WellKnown {
     pub stall_duration: Arc<Histogram>,
     /// End-to-end wall time per query.
     pub query_latency: Arc<Histogram>,
+    /// Submission-window fill: a windowed dispatch of n requests records
+    /// an observation of n **milliseconds** (the latency bucket ladder
+    /// doubling as a size ladder; count = number of windowed dispatches).
+    pub batch_size: Arc<Histogram>,
 }
 
 impl WellKnown {
@@ -436,6 +445,14 @@ impl WellKnown {
                 "wsq_reqsync_stalls_total",
                 "Times a capped ReqSync stopped pulling because its buffer was full",
             ),
+            prefetch_issued: registry.counter(
+                "wsq_prefetch_issued_total",
+                "External calls registered ahead of demand by a prefetching scan",
+            ),
+            prefetch_wasted: registry.counter(
+                "wsq_prefetch_wasted_total",
+                "Prefetched calls whose tuple was cancelled or never consumed",
+            ),
             call_latency: registry.histogram(
                 "wsq_call_latency_seconds",
                 "Launch-to-completion latency per external call",
@@ -455,6 +472,10 @@ impl WellKnown {
             query_latency: registry.histogram(
                 "wsq_query_latency_seconds",
                 "End-to-end wall time per query",
+            ),
+            batch_size: registry.histogram(
+                "wsq_batch_size",
+                "Submission-window fill per windowed dispatch (recorded as n milliseconds)",
             ),
         }
     }

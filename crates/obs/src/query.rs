@@ -26,6 +26,9 @@ pub struct QueryWindow {
     patch_delay0: HistogramSnapshot,
     stall_duration0: HistogramSnapshot,
     stalls0: u64,
+    prefetch_issued0: u64,
+    prefetch_wasted0: u64,
+    batches0: u64,
 }
 
 impl QueryWindow {
@@ -43,6 +46,9 @@ impl QueryWindow {
                     patch_delay0: m.patch_delay.snapshot(),
                     stall_duration0: m.stall_duration.snapshot(),
                     stalls0: m.reqsync_stalls.get(),
+                    prefetch_issued0: m.prefetch_issued.get(),
+                    prefetch_wasted0: m.prefetch_wasted.get(),
+                    batches0: m.batch_size.snapshot().count,
                 }
             }
             None => QueryWindow {
@@ -54,6 +60,9 @@ impl QueryWindow {
                 patch_delay0: HistogramSnapshot::empty(),
                 stall_duration0: HistogramSnapshot::empty(),
                 stalls0: 0,
+                prefetch_issued0: 0,
+                prefetch_wasted0: 0,
+                batches0: 0,
             },
         }
     }
@@ -89,6 +98,15 @@ impl QueryWindow {
             buffered_hw: m.reqsync_buffered.high_water(),
             events: events.len() as u64,
             dropped: obs.trace().map_or(0, |t| t.dropped()),
+            prefetch_issued: m
+                .prefetch_issued
+                .get()
+                .saturating_sub(self.prefetch_issued0),
+            prefetch_wasted: m
+                .prefetch_wasted
+                .get()
+                .saturating_sub(self.prefetch_wasted0),
+            batches: m.batch_size.snapshot().count.saturating_sub(self.batches0),
         })
     }
 }
@@ -125,13 +143,19 @@ pub struct QuerySummary {
     pub events: u64,
     /// Lifetime trace drops (non-zero means old windows were evicted).
     pub dropped: u64,
+    /// Calls registered ahead of demand during the window (DESIGN §12).
+    pub prefetch_issued: u64,
+    /// Prefetched calls whose tuple was never consumed.
+    pub prefetch_wasted: u64,
+    /// Windowed `execute_batch` dispatches during the window.
+    pub batches: u64,
 }
 
 impl fmt::Display for QuerySummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "calls={} call_p50={} call_p95={} call_max={} queue_p95={} patch_p95={} max_concurrent={} stalls={} stall_p95={} buffered_hw={} events={} dropped={}",
+            "calls={} call_p50={} call_p95={} call_max={} queue_p95={} patch_p95={} max_concurrent={} stalls={} stall_p95={} buffered_hw={} events={} dropped={} prefetch_issued={} prefetch_wasted={} batches={}",
             self.calls,
             fmt_ms(self.call_p50),
             fmt_ms(self.call_p95),
@@ -144,6 +168,9 @@ impl fmt::Display for QuerySummary {
             self.buffered_hw,
             self.events,
             self.dropped,
+            self.prefetch_issued,
+            self.prefetch_wasted,
+            self.batches,
         )
     }
 }

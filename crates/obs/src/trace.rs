@@ -55,6 +55,13 @@ pub enum EventKind {
     /// A stalled ReqSync drained below its low-water mark and resumed
     /// pulling from its child.
     Resumed,
+    /// The call was registered ahead of demand by a prefetching scan
+    /// (DESIGN.md §12).
+    PrefetchIssued,
+    /// The call was handed to its service as part of a windowed
+    /// `execute_batch` dispatch (instead of a per-request `Launched`
+    /// handoff; the `Launched` event still fires when capacity is taken).
+    BatchLaunched,
 }
 
 impl EventKind {
@@ -74,6 +81,8 @@ impl EventKind {
             EventKind::TupleCancelled => "tuple-cancelled",
             EventKind::Stalled => "stalled",
             EventKind::Resumed => "resumed",
+            EventKind::PrefetchIssued => "prefetch-issued",
+            EventKind::BatchLaunched => "batch-launched",
         }
     }
 }

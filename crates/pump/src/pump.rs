@@ -49,6 +49,14 @@ pub struct PumpConfig {
     pub default_per_destination: usize,
     /// Merge identical in-flight requests into one network call.
     pub coalesce: bool,
+    /// Submission-window size for the event-loop dispatcher: up to this
+    /// many launchable requests for **one destination** are handed to the
+    /// service as a single [`SearchService::execute_batch`] dispatch.
+    /// `1` (the default) keeps the per-request dispatch path; per-call
+    /// concurrency accounting, caps, and `Launched` events are identical
+    /// either way. Ignored by [`DispatchMode::ThreadPool`] workers, which
+    /// are inherently per-request.
+    pub submission_window: usize,
     /// Dispatcher choice.
     pub dispatch: DispatchMode,
     /// Observability sink for call-lifecycle events and metrics
@@ -63,6 +71,7 @@ impl Default for PumpConfig {
             per_destination: HashMap::new(),
             default_per_destination: 64,
             coalesce: true,
+            submission_window: 1,
             dispatch: DispatchMode::EventLoop,
             obs: Obs::disabled(),
         }
@@ -84,6 +93,9 @@ pub struct PumpStats {
     pub peak_in_flight: u64,
     /// Highest queue length observed while waiting for capacity.
     pub peak_queued: u64,
+    /// Windowed dispatches: `execute_batch` handoffs covering two or more
+    /// requests (per-request dispatches are not counted).
+    pub batches: u64,
 }
 
 /// Lock-free statistic counters; `stats()` never touches the state mutex.
@@ -95,6 +107,7 @@ struct Counters {
     coalesced: AtomicU64,
     peak_in_flight: AtomicU64,
     peak_queued: AtomicU64,
+    batches: AtomicU64,
 }
 
 impl Counters {
@@ -106,6 +119,7 @@ impl Counters {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
             peak_queued: self.peak_queued.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -288,6 +302,45 @@ impl ReqPump {
     /// ```
     pub fn register(&self, req: SearchRequest) -> Result<CallId> {
         let mut st = self.shared.state.lock();
+        let cid = self.register_locked(&mut st, req)?;
+        drop(st);
+        self.shared.work_cv.notify_all();
+        Ok(cid)
+    }
+
+    /// Register a whole burst of requests under **one** state-lock
+    /// acquisition, waking the dispatcher once at the end. Semantically
+    /// identical to calling [`ReqPump::register`] once per request (same
+    /// coalescing, same fail-fast on unknown engines, same ids), but a
+    /// prefetching scan issuing `depth` calls pays one lock round instead
+    /// of `depth`.
+    ///
+    /// Fails atomically only on shutdown: requests registered before the
+    /// shutdown flag was observed keep their ids (the caller must release
+    /// any ids it obtained if it aborts).
+    pub fn register_batch(&self, reqs: Vec<SearchRequest>) -> Result<Vec<CallId>> {
+        let mut st = self.shared.state.lock();
+        let mut ids = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            ids.push(self.register_locked(&mut st, req)?);
+        }
+        drop(st);
+        self.shared.work_cv.notify_all();
+        Ok(ids)
+    }
+
+    /// Whether identical in-flight requests coalesce onto one call.
+    /// Prefetching callers check this: with coalescing off, an eager
+    /// registration plus the later demand-side registration would issue
+    /// the same request twice.
+    pub fn coalescing_enabled(&self) -> bool {
+        self.shared.config.coalesce
+    }
+
+    /// The registration body, run under the already-held state lock.
+    /// Does **not** notify the dispatcher — callers notify once after
+    /// dropping the lock.
+    fn register_locked(&self, st: &mut State, req: SearchRequest) -> Result<CallId> {
         if st.shutdown {
             return Err(WsqError::PumpShutdown);
         }
@@ -361,8 +414,6 @@ impl ReqPump {
             m.queue_depth.add(1);
         }
         obs.event(cid, EventKind::Queued);
-        drop(st);
-        self.shared.work_cv.notify_all();
         Ok(cid)
     }
 
@@ -677,6 +728,42 @@ impl Ord for Pending {
     }
 }
 
+/// Group one launch phase's calls into per-destination submission
+/// windows of at most `window` requests, preserving launch order within
+/// each destination. `window <= 1` degenerates to singleton batches
+/// (the per-request dispatch path).
+fn window_batches(
+    launches: Vec<(CallId, SearchRequest)>,
+    window: usize,
+) -> Vec<Vec<(CallId, SearchRequest)>> {
+    if window <= 1 {
+        return launches.into_iter().map(|l| vec![l]).collect();
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut per_dest: HashMap<String, Vec<(CallId, SearchRequest)>> = HashMap::new();
+    for (cid, req) in launches {
+        let dest = req.engine.clone();
+        let entry = per_dest.entry(dest.clone()).or_default();
+        if entry.is_empty() {
+            order.push(dest);
+        }
+        entry.push((cid, req));
+    }
+    let mut batches = Vec::new();
+    for dest in order {
+        let mut calls = per_dest.remove(&dest).unwrap_or_default();
+        while calls.len() > window {
+            let rest = calls.split_off(window);
+            batches.push(calls);
+            calls = rest;
+        }
+        if !calls.is_empty() {
+            batches.push(calls);
+        }
+    }
+    batches
+}
+
 /// The event-driven dispatcher: launch within limits, hold replies in a
 /// deadline heap, deliver when their simulated latency elapses.
 fn event_loop(shared: Arc<Shared>) {
@@ -695,22 +782,68 @@ fn event_loop(shared: Arc<Shared>) {
             }
         }
         let now = Instant::now();
-        for (cid, req) in launches {
-            let service = shared.services.read().get(&req.engine).cloned();
-            let reply = match service {
-                // `call_scope` lets decorators (retry/flaky/cache) deep in
-                // the execute stack attribute their trace events to `cid`.
-                Some(svc) => wsq_obs::call_scope(cid, || svc.execute(&req)),
-                None => ServiceReply {
-                    result: Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
-                    latency: Duration::ZERO,
-                },
+        for batch in window_batches(launches, shared.config.submission_window) {
+            if let [(cid, req)] = batch.as_slice() {
+                let (cid, req) = (*cid, req.clone());
+                let service = shared.services.read().get(&req.engine).cloned();
+                let reply = match service {
+                    // `call_scope` lets decorators (retry/flaky/cache) deep
+                    // in the execute stack attribute their trace events to
+                    // `cid`.
+                    Some(svc) => wsq_obs::call_scope(cid, || svc.execute(&req)),
+                    None => ServiceReply {
+                        result: Err(WsqError::Search(format!("unknown engine '{}'", req.engine))),
+                        latency: Duration::ZERO,
+                    },
+                };
+                heap.push(Reverse(Pending {
+                    deadline: now + reply.latency,
+                    cid,
+                    result: reply.result,
+                }));
+                continue;
+            }
+            // Windowed dispatch: one `execute_batch` handoff for the whole
+            // destination window, still outside the state lock. Each reply
+            // keeps its own simulated latency, so delivery times are
+            // identical to per-request dispatch. Per-call trace attribution
+            // (`call_scope`) is unavailable inside a batch — decorator
+            // events like `Retried` are only recorded on the per-request
+            // path.
+            let engine = batch[0].1.engine.clone();
+            let service = shared.services.read().get(&engine).cloned();
+            let reqs: Vec<SearchRequest> = batch.iter().map(|(_, r)| r.clone()).collect();
+            let mut replies = match service {
+                Some(svc) => svc.execute_batch(&reqs),
+                None => Vec::new(),
             };
-            heap.push(Reverse(Pending {
-                deadline: now + reply.latency,
-                cid,
-                result: reply.result,
-            }));
+            // Defensive: a misbehaving service must not strand calls.
+            while replies.len() < batch.len() {
+                replies.push(ServiceReply {
+                    result: Err(WsqError::Search(format!(
+                        "engine '{engine}' returned too few batch replies"
+                    ))),
+                    latency: Duration::ZERO,
+                });
+            }
+            replies.truncate(batch.len());
+            shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+            let obs = &shared.config.obs;
+            if let Some(m) = obs.metrics() {
+                // Convention: batch sizes are recorded as "milliseconds"
+                // (a window of n requests observes n ms) so the fixed
+                // latency bucket ladder doubles as a size ladder.
+                m.batch_size
+                    .observe(Duration::from_millis(batch.len() as u64));
+            }
+            for ((cid, _), reply) in batch.into_iter().zip(replies) {
+                obs.event(cid, EventKind::BatchLaunched);
+                heap.push(Reverse(Pending {
+                    deadline: now + reply.latency,
+                    cid,
+                    result: reply.result,
+                }));
+            }
         }
 
         // Delivery phase: complete everything whose deadline has passed.
@@ -1132,6 +1265,88 @@ mod tests {
         }
         assert_eq!(pump.live_calls(), 0);
         assert_eq!(pump.stats().completed, 100);
+    }
+
+    #[test]
+    fn register_batch_matches_per_request_registration() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::from_millis(2)));
+        let ids = pump
+            .register_batch(vec![req("AV", "aa"), req("AV", "bbb"), req("AV", "aa")])
+            .unwrap();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], ids[2], "identical requests coalesce in a batch");
+        assert_ne!(ids[0], ids[1]);
+        assert_eq!(pump.wait(ids[0]).unwrap().count(), Some(2));
+        assert_eq!(pump.wait(ids[1]).unwrap().count(), Some(3));
+        let stats = pump.stats();
+        assert_eq!(stats.registered, 3);
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.launched, 2);
+        for &c in &ids {
+            pump.release(c);
+        }
+        assert_eq!(pump.live_calls(), 0);
+    }
+
+    #[test]
+    fn register_batch_after_shutdown_fails() {
+        let pump = ReqPump::with_service("AV", Probe::new(Duration::ZERO));
+        pump.shutdown();
+        assert!(matches!(
+            pump.register_batch(vec![req("AV", "x")]),
+            Err(WsqError::PumpShutdown)
+        ));
+    }
+
+    #[test]
+    fn submission_window_batches_same_destination_dispatches() {
+        let config = PumpConfig {
+            submission_window: 4,
+            ..PumpConfig::default()
+        };
+        let pump = ReqPump::new(config);
+        pump.register_service("AV", Probe::new(Duration::from_millis(5)));
+        let ids = pump
+            .register_batch((0..8).map(|i| req("AV", &format!("b{i:02}"))).collect())
+            .unwrap();
+        for &cid in &ids {
+            assert!(pump.wait(cid).unwrap().count().is_some());
+        }
+        let stats = pump.stats();
+        assert_eq!(stats.launched, 8);
+        assert!(
+            stats.batches >= 1,
+            "8 same-destination calls under window=4 never batched"
+        );
+        for &cid in &ids {
+            pump.release(cid);
+        }
+        assert_eq!(pump.live_calls(), 0);
+    }
+
+    #[test]
+    fn window_batches_groups_by_destination_and_chunks() {
+        let launches: Vec<(CallId, SearchRequest)> = vec![
+            (CallId(0), req("AV", "a")),
+            (CallId(1), req("Google", "b")),
+            (CallId(2), req("AV", "c")),
+            (CallId(3), req("AV", "d")),
+            (CallId(4), req("AV", "e")),
+        ];
+        let batches = window_batches(launches.clone(), 3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(
+            batches[0].iter().map(|(c, _)| c.0).collect::<Vec<_>>(),
+            vec![0, 2, 3],
+            "AV window fills in launch order"
+        );
+        assert_eq!(batches[1].len(), 1, "AV overflow starts a new window");
+        assert_eq!(batches[1][0].0, CallId(4));
+        assert_eq!(batches[2][0].0, CallId(1));
+        // window=1 degenerates to singletons in order.
+        let singles = window_batches(launches, 1);
+        assert_eq!(singles.len(), 5);
+        assert!(singles.iter().all(|b| b.len() == 1));
     }
 
     #[test]

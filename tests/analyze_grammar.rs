@@ -172,7 +172,10 @@ fn analyze_report_matches_the_documented_grammar() {
             "stall_p95",
             "buffered_hw",
             "events",
-            "dropped"
+            "dropped",
+            "prefetch_issued",
+            "prefetch_wasted",
+            "batches"
         ]
     );
     for kv in footers[1].split_once(": ").unwrap().1.split_whitespace() {

@@ -56,9 +56,19 @@ fn registry() -> EngineRegistry {
 }
 
 fn pump_with(max_concurrent: usize, coalesce: bool, jitter: bool) -> Arc<ReqPump> {
+    pump_with_window(max_concurrent, coalesce, jitter, 1)
+}
+
+fn pump_with_window(
+    max_concurrent: usize,
+    coalesce: bool,
+    jitter: bool,
+    submission_window: usize,
+) -> Arc<ReqPump> {
     let pump = ReqPump::new(PumpConfig {
         max_concurrent,
         coalesce,
+        submission_window,
         ..PumpConfig::default()
     });
     // Jittered latency makes completion *order* adversarial: calls
@@ -253,6 +263,33 @@ proptest! {
             "cap={:?} changed results under ({:?},{:?},mc={},co={}): {}",
             cap, strategy, buffer, max_concurrent, coalesce, q.sql);
         prop_assert_eq!(pump.live_calls(), 0);
+
+        // Ahead-of-need prefetch and windowed submission are invisible
+        // too: every depth × window combination returns the demand-driven
+        // multiset byte-for-byte, and drains the pump completely. The
+        // prefetching pump coalesces (prefetch is disabled otherwise) and
+        // runs under the same admission cap, so the depth-to-cap clamp is
+        // exercised whenever cap < depth.
+        for depth in [1usize, 4, 16] {
+            for window in [1usize, 8] {
+                let ppump = pump_with_window(max_concurrent, true, jitter, window);
+                let mut pre = run(&db, &ppump, &q.sql, EngineOpts {
+                    mode: ExecutionMode::Asynchronous,
+                    strategy,
+                    buffer,
+                    reqsync_cap: cap,
+                    prefetch_depth: depth,
+                    prefetch_window: window,
+                    ..Default::default()
+                });
+                if !q.ordered { pre.sort(); }
+                prop_assert_eq!(&pre, &baseline,
+                    "prefetch depth={} window={} diverged under ({:?},{:?},cap={:?}): {}",
+                    depth, window, strategy, buffer, cap, q.sql);
+                prop_assert_eq!(ppump.live_calls(), 0,
+                    "prefetch depth={} window={} leaked calls", depth, window);
+            }
+        }
     }
 }
 

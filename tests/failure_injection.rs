@@ -120,6 +120,60 @@ fn capped_query_failure_releases_every_buffer_slot() {
 }
 
 #[test]
+fn flaky_backend_mid_window_releases_every_prefetched_slot() {
+    // Ahead-of-need prefetch registers calls for outer tuples nobody has
+    // demanded yet, and a submission window of 8 dispatches them in
+    // batches. When the backend exhausts its retries mid-window the
+    // query errors with most of the lookahead still unconsumed — every
+    // prefetched registration must be released (counted as wasted) and
+    // the gauges must drain to zero.
+    let mut wsq = Wsq::open_in_memory(WsqConfig {
+        pump: PumpConfig {
+            submission_window: 8,
+            ..PumpConfig::default()
+        },
+        ..WsqConfig::fast()
+    })
+    .unwrap();
+    wsq.load_reference_data().unwrap();
+    let inner = wsq.web().engine(EngineKind::AltaVista);
+    let flaky = FlakyService::new(inner, 1000, 1234);
+    let service: Arc<dyn wsq_pump::SearchService> = RetryService::new(flaky.clone(), 2);
+    wsq.register_engine("Shaky", service, true);
+
+    let err = wsq
+        .query_with(
+            QUERY,
+            QueryOptions {
+                reqsync_cap: Some(4),
+                prefetch_depth: 8, // planner clamps the lookahead to the cap
+                prefetch_window: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("503"), "{err}");
+    assert!(flaky.stats().failures >= 3, "retries never ran");
+
+    let m = wsq.obs().metrics().unwrap();
+    assert!(m.prefetch_issued.get() > 0, "prefetch never engaged");
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while (wsq.pump().live_calls() > 0 || m.in_flight.get() > 0) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(wsq.pump().live_calls(), 0, "prefetched slots leaked");
+    assert_eq!(m.in_flight.get(), 0, "in-flight gauge did not drain");
+    assert_eq!(m.reqsync_buffered.get(), 0, "buffer slots leaked");
+    assert!(
+        m.prefetch_wasted.get() > 0,
+        "error path never released its unconsumed prefetches"
+    );
+    // The instance is still usable afterwards.
+    let r = wsq.query("SELECT COUNT(*) FROM States").unwrap();
+    assert_eq!(r.rows[0].get(0).as_int().unwrap(), 50);
+}
+
+#[test]
 fn retries_restore_availability() {
     let (mut wsq, flaky) = wsq_with_flaky(300, Some(6));
     let r = wsq.query(QUERY).unwrap();
