@@ -1,25 +1,20 @@
 //! Source-level lints for the engine/pump hot paths, run by
 //! `cargo xtask lint` (and CI).
 //!
-//! Two passes over non-test Rust sources:
+//! One pass over non-test Rust sources: **panic sites** — count
+//! `.unwrap()` / `.expect(` occurrences per file. The xtask compares
+//! the counts against a checked-in allowlist that may only shrink
+//! (burn-down): new panic sites in `crates/engine` and `crates/pump`
+//! fail CI.
 //!
-//! 1. **Panic sites**: count `.unwrap()` / `.expect(` occurrences per
-//!    file. The xtask compares the counts against a checked-in allowlist
-//!    that may only shrink (burn-down): new panic sites in
-//!    `crates/engine` and `crates/pump` fail CI.
-//! 2. **Locks across backend calls**: a `let`-bound lock guard
-//!    (`.lock()` / `.read()` / `.write()` at the end of the statement)
-//!    that is still live — same or deeper brace depth, no `drop(guard)`
-//!    — when a `.execute(` or `.execute_batch(` backend call appears.
-//!    Holding a shard or state lock across a (simulated-latency) web
-//!    call is exactly the serialization the PR-1 fast path removed;
-//!    this keeps it removed, for windowed dispatches too.
-//!
-//! The analysis is deliberately lexical: sources are stripped of
-//! comments, string/char literals, and `#[cfg(test)] mod` bodies first,
-//! so the counts track real code. It is a gate, not a proof — idioms it
-//! cannot see (guards returned from functions, locks via macros) are out
-//! of scope and belong in review.
+//! The stripping machinery here ([`strip_source`] / [`strip_tests`])
+//! blanks comments, string/char literals, and `#[cfg(test)] mod`
+//! bodies while preserving line structure, so counts and line numbers
+//! track real code. It also feeds the token lexer behind the
+//! concurrency auditor ([`crate::conc`]), which replaced the old
+//! line-based lock-across-backend-call check with real guard tracking
+//! (`if let` bindings, helper-returned guards, shadowing, early
+//! `drop`) plus condvar and lock-order rules.
 
 use std::fs;
 use std::io;
@@ -35,9 +30,6 @@ pub struct FileLint {
     pub unwraps: usize,
     /// `.expect(` occurrences in non-test code.
     pub expects: usize,
-    /// Lock-across-backend-call findings (human-readable, with line
-    /// numbers).
-    pub lock_violations: Vec<String>,
 }
 
 impl FileLint {
@@ -91,7 +83,6 @@ pub fn lint_source(src: &str, path: &str) -> FileLint {
         path: path.to_string(),
         unwraps: stripped.matches(".unwrap()").count(),
         expects: stripped.matches(".expect(").count(),
-        lock_violations: lock_violations(&stripped, path),
     }
 }
 
@@ -302,79 +293,6 @@ pub fn strip_tests(stripped: &str) -> String {
     out
 }
 
-/// A `let`-bound lock guard live across a `.execute(` /
-/// `.execute_batch(` backend call.
-///
-/// Line-based heuristic: a guard is born on a line whose `let` statement
-/// *ends* in `.lock();` / `.read();` / `.write();` (so temporaries like
-/// `….read().get(…).cloned();` do not count); it dies when brace depth
-/// drops below its birth depth or a `drop(name)` appears.
-fn lock_violations(stripped: &str, path: &str) -> Vec<String> {
-    struct Guard {
-        name: String,
-        depth: i32,
-        line: usize,
-    }
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut violations = Vec::new();
-    let mut depth: i32 = 0;
-    for (lineno, line) in stripped.lines().enumerate() {
-        let lineno = lineno + 1;
-        let trimmed = line.trim();
-        // Births: before brace tracking so the guard records the depth
-        // of its enclosing block.
-        let is_guard_birth = trimmed.starts_with("let ")
-            && (trimmed.ends_with(".lock();")
-                || trimmed.ends_with(".read();")
-                || trimmed.ends_with(".write();"));
-        if is_guard_birth {
-            let rest = trimmed["let ".len()..].trim_start();
-            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                guards.push(Guard {
-                    name,
-                    depth,
-                    line: lineno,
-                });
-            }
-        }
-        // Deaths by explicit drop.
-        for g_idx in (0..guards.len()).rev() {
-            if line.contains(&format!("drop({})", guards[g_idx].name)) {
-                guards.remove(g_idx);
-            }
-        }
-        // Backend call while a guard is live? `.execute_batch(` is a
-        // separate lexical token (the windowed dispatch path) and must
-        // be matched explicitly.
-        if line.contains(".execute(") || line.contains(".execute_batch(") {
-            for g in &guards {
-                violations.push(format!(
-                    "{path}:{lineno}: backend call with lock guard `{}` \
-                     (born line {}) still held",
-                    g.name, g.line
-                ));
-            }
-        }
-        // Brace tracking; guards die when their block closes.
-        for c in line.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    guards.retain(|g| g.depth <= depth);
-                }
-                _ => {}
-            }
-        }
-    }
-    violations
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,60 +322,5 @@ mod tests {
             "fn f<'a>(x: &'a str) -> char { let c = '\"'; c }\nfn g() { v.expect(\"msg\"); }\n";
         let lint = lint_source(src, "b.rs");
         assert_eq!(lint.expects, 1);
-    }
-
-    #[test]
-    fn flags_lock_held_across_backend_call() {
-        let src = r#"
-fn bad(&self) {
-    let mut st = self.state.lock();
-    st.touch();
-    self.service.execute(&req);
-}
-"#;
-        let lint = lint_source(src, "c.rs");
-        assert_eq!(lint.lock_violations.len(), 1, "{:?}", lint.lock_violations);
-    }
-
-    #[test]
-    fn flags_lock_held_across_batch_dispatch() {
-        let src = r#"
-fn bad(&self) {
-    let mut st = self.state.lock();
-    st.touch();
-    self.service.execute_batch(&reqs);
-}
-"#;
-        let lint = lint_source(src, "e.rs");
-        assert_eq!(lint.lock_violations.len(), 1, "{:?}", lint.lock_violations);
-    }
-
-    #[test]
-    fn dropped_or_scoped_guards_are_fine() {
-        let src = r#"
-fn good(&self) {
-    let mut st = self.state.lock();
-    st.touch();
-    drop(st);
-    self.service.execute(&req);
-}
-fn also_good(&self) {
-    let req = {
-        let st = self.state.lock();
-        st.peek()
-    };
-    self.service.execute(&req);
-}
-fn temporary_guard_is_not_a_binding(&self) {
-    let service = self.services.read().get(name).cloned();
-    service.execute(&req);
-}
-"#;
-        let lint = lint_source(src, "d.rs");
-        assert!(
-            lint.lock_violations.is_empty(),
-            "{:?}",
-            lint.lock_violations
-        );
     }
 }

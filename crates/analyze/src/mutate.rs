@@ -47,6 +47,15 @@ pub enum Mutation {
     BindToPlaceholder,
     /// Replace an AEVScan with a synchronous EVScan (structural).
     DesyncScan,
+    /// Forge an AEVScan prefetch depth above its enclosing ReqSync's
+    /// admission cap (resource-bound rule: prefetch-exceeds-cap). The
+    /// ReqSync is stamped with a cap if it lacks one, so the mutated
+    /// plan is exactly "clamp convention violated".
+    ForgePrefetchDepth,
+    /// Erase the stamped cap from a ReqSync (resource-bound rule:
+    /// cap-dropped — caught by `verify_bounds` against the session's
+    /// declared cap).
+    DropStampedCap,
 }
 
 /// Every corruption class, for exhaustive harnesses.
@@ -63,6 +72,8 @@ pub const ALL_MUTATIONS: &[Mutation] = &[
     Mutation::ComputeOverPlaceholder,
     Mutation::BindToPlaceholder,
     Mutation::DesyncScan,
+    Mutation::ForgePrefetchDepth,
+    Mutation::DropStampedCap,
 ];
 
 /// Apply `m` to the first applicable site in `plan`; `None` when the
@@ -300,6 +311,46 @@ pub fn apply(plan: &PhysPlan, m: Mutation) -> Option<PhysPlan> {
             PhysPlan::AEVScan(spec) => Ok(PhysPlan::EVScan(spec)),
             other => Err(other),
         },
+        Mutation::ForgePrefetchDepth => &mut |p| match p {
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap,
+            } => {
+                let forged = cap.unwrap_or(4);
+                match forge_depth(*input, forged + 3) {
+                    Ok(i) => Ok(PhysPlan::ReqSync {
+                        input: Box::new(i),
+                        attrs,
+                        mode,
+                        cap: Some(forged),
+                    }),
+                    // Not applicable here: rebuild unchanged.
+                    Err(i) => Err(PhysPlan::ReqSync {
+                        input: Box::new(i),
+                        attrs,
+                        mode,
+                        cap,
+                    }),
+                }
+            }
+            other => Err(other),
+        },
+        Mutation::DropStampedCap => &mut |p| match p {
+            PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap: Some(_),
+            } => Ok(PhysPlan::ReqSync {
+                input,
+                attrs,
+                mode,
+                cap: None,
+            }),
+            other => Err(other),
+        },
     };
     rewrite_first(plan.clone(), rewrite).ok()
 }
@@ -323,6 +374,63 @@ fn first_aev_attr(plan: &PhysPlan) -> Option<ColumnRef> {
         }
         PhysPlan::ParallelDependentJoin { left, .. } => first_aev_attr(left),
         _ => None,
+    }
+}
+
+/// Stamp `depth` on the first AEVScan reachable without crossing a
+/// nested ReqSync (so the mutated scan's *nearest* enclosing ReqSync is
+/// the one the caller just capped). `Ok` = forged, `Err` = unchanged.
+fn forge_depth(plan: PhysPlan, depth: usize) -> Result<PhysPlan, PhysPlan> {
+    use PhysPlan::*;
+    match plan {
+        AEVScan(mut spec) => {
+            spec.prefetch.depth = depth;
+            Ok(AEVScan(spec))
+        }
+        ReqSync { .. } => Err(plan),
+        Filter { input, predicate } => match forge_depth(*input, depth) {
+            Ok(i) => Ok(Filter {
+                input: Box::new(i),
+                predicate,
+            }),
+            Err(i) => Err(Filter {
+                input: Box::new(i),
+                predicate,
+            }),
+        },
+        Project {
+            input,
+            items,
+            schema,
+        } => match forge_depth(*input, depth) {
+            Ok(i) => Ok(Project {
+                input: Box::new(i),
+                items,
+                schema,
+            }),
+            Err(i) => Err(Project {
+                input: Box::new(i),
+                items,
+                schema,
+            }),
+        },
+        DependentJoin { left, right } => match forge_depth(*right, depth) {
+            Ok(r) => Ok(DependentJoin {
+                left,
+                right: Box::new(r),
+            }),
+            Err(r) => match forge_depth(*left, depth) {
+                Ok(l) => Ok(DependentJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }),
+                Err(l) => Err(DependentJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }),
+            },
+        },
+        other => Err(other),
     }
 }
 

@@ -1,0 +1,217 @@
+//! A line-numbered token stream over stripped Rust source.
+//!
+//! The concurrency auditor ([`crate::conc`]) needs to see *structure*
+//! (statement boundaries, call chains, patterns like `if let Ok(g) =
+//! m.lock()`) that the old line-based lint could not: guards bound
+//! across line breaks, `if let` bindings, and helper-returned guards
+//! were all invisible to it. This module lexes source that has already
+//! been through [`crate::lint::strip_source`] /
+//! [`crate::lint::strip_tests`] (comments, literals and test-module
+//! bodies blanked, line structure preserved) into a flat token vector
+//! where every token knows its 1-based line.
+//!
+//! The lexer is deliberately small: identifiers, numbers, blanked
+//! string/char literals, lifetimes, and punctuation (with `::`, `->`
+//! and `=>` fused, so path and arrow parsing stays trivial). That is
+//! enough for the auditor's pattern matching; it is not a general Rust
+//! lexer.
+
+/// One lexed token: its text and the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Tok {
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is an identifier or keyword.
+    pub fn is_ident(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    }
+}
+
+/// Lex stripped source (see module docs) into tokens.
+pub(crate) fn lex(stripped: &str) -> Vec<Tok> {
+    let chars: Vec<char> = stripped.chars().collect();
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '"' {
+            // Blanked string literal: body is spaces/newlines; scan to
+            // the closing quote, keeping the line count honest.
+            let start_line = line;
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != '"' {
+                if chars[j] == '\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            out.push(Tok {
+                text: "\"\"".to_string(),
+                line: start_line,
+            });
+            i = j + 1;
+            continue;
+        }
+        if c == '\'' {
+            // Blanked char literal ('…') vs lifetime ('a). strip_source
+            // keeps both quote chars of a literal; a lifetime has no
+            // closing quote nearby.
+            let close = (i + 1..chars.len().min(i + 5)).find(|&j| chars[j] == '\'');
+            if let Some(j) = close {
+                out.push(Tok {
+                    text: "''".to_string(),
+                    line,
+                });
+                i = j + 1;
+            } else {
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.push(Tok {
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.push(Tok {
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Integer-ish run; `1.5` lexes as three tokens, which is
+            // fine for the auditor's purposes.
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            out.push(Tok {
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation: fuse the pairs the auditor parses structurally.
+        let next = chars.get(i + 1).copied();
+        let fused = match (c, next) {
+            (':', Some(':')) => Some("::"),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            _ => None,
+        };
+        if let Some(f) = fused {
+            out.push(Tok {
+                text: f.to_string(),
+                line,
+            });
+            i += 2;
+        } else {
+            out.push(Tok {
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Index of the matching close delimiter for the open delimiter at
+/// `open` (`(`/`)`, `{`/`}`, `[`/`]` — all three kinds tracked
+/// together, so mixed nesting works). `None` when unbalanced.
+pub(crate) fn matching(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "(" | "{" | "[" => depth += 1,
+            ")" | "}" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::strip_source;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(&strip_source(src))
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_paths_and_arrows() {
+        assert_eq!(
+            texts("fn f(x: &mut T) -> A::B { x => 1 }"),
+            [
+                "fn", "f", "(", "x", ":", "&", "mut", "T", ")", "->", "A", "::", "B", "{", "x",
+                "=>", "1", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_strings_and_comments() {
+        let toks = lex(&strip_source(
+            "let a = \"multi\nline\";\n// gone\nb.lock();",
+        ));
+        let lock = toks.iter().find(|t| t.text == "lock").unwrap();
+        assert_eq!(lock.line, 4);
+        let a = toks.iter().find(|t| t.text == "a").unwrap();
+        assert_eq!(a.line, 1);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_are_distinct() {
+        assert_eq!(
+            texts("fn f<'a>(c: char) { let x = 'y'; }"),
+            [
+                "fn", "f", "<", "'a", ">", "(", "c", ":", "char", ")", "{", "let", "x", "=", "''",
+                ";", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn matching_tracks_mixed_nesting() {
+        let toks = lex("{ a(b[c]) }");
+        assert_eq!(matching(&toks, 0), Some(toks.len() - 1));
+        assert_eq!(matching(&toks, 2), Some(7));
+    }
+}

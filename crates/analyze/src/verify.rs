@@ -33,6 +33,21 @@
 //! no directly-adjacent `ReqSync` pair. [`verify_async`] additionally
 //! rejects synchronous `EVScan`s, which `asyncify` must have rewritten.
 //!
+//! **Static resource bounds.** A second bottom-up pass computes, per
+//! plan, symbolic peaks over the cardinality domain [`Bound`]
+//! (`Finite(n)` or `Unbounded`): the worst-case tuples buffered in any
+//! `ReqSync` ([`Bounds::peak_buffered`]), outstanding prefetch
+//! references across `AEVScan`s ([`Bounds::prefetch_refs`]), and their
+//! sum, the in-flight external-call peak ([`Bounds::peak_inflight`]).
+//! Two rules turn the PR-4/PR-6 runtime conventions into checked
+//! facts: [`Rule::PrefetchExceedsCap`] (a stamped prefetch depth may
+//! never exceed the nearest enclosing ReqSync's admission cap — the
+//! clamp in `asyncify` is now verified, not trusted) and
+//! [`Rule::CapDropped`] (when the session declared a cap,
+//! [`verify_bounds`] proves every ReqSync carries one at least that
+//! tight). The bounds ride along in [`Report`] and surface in the
+//! `-- verify:` analyze footer.
+//!
 //! Column matching deliberately mirrors `asyncify`'s own semantics
 //! (case-insensitive; an unqualified reference may denote a qualified
 //! attribute), so the verifier is exactly as conservative as the
@@ -64,6 +79,13 @@ pub enum Rule {
     AdjacentReqSync,
     /// A synchronous EVScan survived in an asynchronous plan.
     SyncScanInAsyncPlan,
+    /// An AEVScan's stamped prefetch depth exceeds the admission cap of
+    /// its nearest enclosing ReqSync: prefetch could outrun the PR-4
+    /// stall handshake.
+    PrefetchExceedsCap,
+    /// The session declared a ReqSync buffer cap, but a ReqSync in the
+    /// stamped plan carries none (or a looser one).
+    CapDropped,
 }
 
 impl fmt::Display for Rule {
@@ -76,6 +98,8 @@ impl fmt::Display for Rule {
             Rule::UncoveredAtRoot => "uncovered-at-root",
             Rule::AdjacentReqSync => "adjacent-reqsync (consolidation)",
             Rule::SyncScanInAsyncPlan => "sync-scan-in-async-plan",
+            Rule::PrefetchExceedsCap => "prefetch-exceeds-cap",
+            Rule::CapDropped => "cap-dropped",
         };
         f.write_str(s)
     }
@@ -118,6 +142,101 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// A symbolic cardinality / resource bound: a concrete worst case or
+/// "no static bound".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// At most this many.
+    Finite(u64),
+    /// No static bound (e.g. a stored-table scan of unknown size).
+    Unbounded,
+}
+
+impl Bound {
+    /// Saturating sum.
+    pub fn plus(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// Saturating product. `0 × Unbounded = 0`: an empty input produces
+    /// no output regardless of the other side.
+    pub fn times(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(0), _) | (_, Bound::Finite(0)) => Bound::Finite(0),
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_mul(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// The tighter of the two bounds.
+    pub fn min(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.min(b)),
+            (Bound::Finite(a), _) | (_, Bound::Finite(a)) => Bound::Finite(a),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// The looser of the two bounds.
+    pub fn max(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.max(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    /// `self ≤ other` in the bound order (`Unbounded` is the top).
+    pub fn le(self, other: Bound) -> bool {
+        match (self, other) {
+            (_, Bound::Unbounded) => true,
+            (Bound::Unbounded, _) => false,
+            (Bound::Finite(a), Bound::Finite(b)) => a <= b,
+        }
+    }
+}
+
+impl Default for Bound {
+    fn default() -> Self {
+        Bound::Finite(0)
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "{n}"),
+            Bound::Unbounded => f.write_str("inf"),
+        }
+    }
+}
+
+/// Static resource bounds of a verified plan (see [`verify_bounds`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bounds {
+    /// Worst-case tuples buffered in any single ReqSync at once: the
+    /// max over ReqSyncs of `min(cap, child cardinality)`.
+    pub peak_buffered: Bound,
+    /// Worst-case outstanding prefetch references: the sum of stamped
+    /// `AEVScan` prefetch depths.
+    pub prefetch_refs: Bound,
+    /// Worst-case in-flight external calls: buffered peak plus prefetch
+    /// references (prefetched calls register ahead of ReqSync demand).
+    pub peak_inflight: Bound,
+}
+
+impl fmt::Display for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "peak buffered {}, prefetch refs {}, peak in-flight {}",
+            self.peak_buffered, self.prefetch_refs, self.peak_inflight
+        )
+    }
+}
+
 /// Statistics from a successful verification (surfaced by
 /// `Wsq::explain_verify`).
 #[derive(Debug, Clone, Copy, Default)]
@@ -131,14 +250,16 @@ pub struct Report {
     /// Largest may-be-placeholder set at any operator (lattice height
     /// actually reached).
     pub max_placeholder_set: usize,
+    /// Static resource bounds of the plan.
+    pub bounds: Bounds,
 }
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "verified {} nodes: {} async scan(s), {} ReqSync(s), max placeholder set {}",
-            self.nodes, self.aev_scans, self.req_syncs, self.max_placeholder_set
+            "verified {} nodes: {} async scan(s), {} ReqSync(s), max placeholder set {}, {}",
+            self.nodes, self.aev_scans, self.req_syncs, self.max_placeholder_set, self.bounds
         )
     }
 }
@@ -225,11 +346,76 @@ fn verify_inner(plan: &PhysPlan, forbid_ev: bool) -> Result<Report, VerifyError>
             ),
         });
     }
+    // Resource bounds ride along with every verification; the
+    // declared-cap consistency rule needs the session cap and runs in
+    // [`verify_bounds`] only.
+    let mut bx = BoundsCx {
+        declared_cap: None,
+        bounds: Bounds::default(),
+        violations: Vec::new(),
+    };
+    bx.card(plan, None, "root");
+    bx.finish();
+    cx.report.bounds = bx.bounds;
+    cx.violations.extend(bx.violations);
     if cx.violations.is_empty() {
         Ok(cx.report)
     } else {
         Err(VerifyError {
             violations: cx.violations,
+        })
+    }
+}
+
+/// Compute the static resource bounds of a plan and prove them
+/// consistent with the caps stamped at plan time.
+///
+/// Checks [`Rule::PrefetchExceedsCap`] (as [`verify`] does) **plus**
+/// [`Rule::CapDropped`] against `declared_cap`, the session's
+/// `reqsync_cap` at planning time: when `Some(c)`, every ReqSync in the
+/// plan must carry a stamped cap `≤ c` — so `peak_buffered ≤ c` is a
+/// proven fact, not a runtime convention.
+///
+/// ```
+/// use wsq_analyze::verify::{verify_bounds, Bound};
+/// use wsq_common::Value;
+/// use wsq_engine::plan::{BufferMode, EvBinding, EvSpec, PhysPlan, PrefetchHint, VTableKind};
+///
+/// let spec = EvSpec {
+///     kind: VTableKind::WebCount,
+///     engine: "AV".into(),
+///     alias: "WebCount".into(),
+///     template: None,
+///     bindings: vec![EvBinding::Const(Value::from("Utah"))],
+///     rank_limit: 19,
+///     supports_near: true,
+///     prefetch: PrefetchHint::default(),
+/// };
+/// let plan = PhysPlan::ReqSync {
+///     attrs: spec.external_attrs(),
+///     input: Box::new(PhysPlan::AEVScan(spec)),
+///     mode: BufferMode::Full,
+///     cap: Some(8),
+/// };
+/// let bounds = verify_bounds(&plan, Some(8)).expect("caps are consistent");
+/// assert!(bounds.peak_buffered.le(Bound::Finite(8)));
+///
+/// // The same plan against a declared cap it does not honour fails.
+/// assert!(verify_bounds(&plan, Some(4)).is_err());
+/// ```
+pub fn verify_bounds(plan: &PhysPlan, declared_cap: Option<usize>) -> Result<Bounds, VerifyError> {
+    let mut bx = BoundsCx {
+        declared_cap,
+        bounds: Bounds::default(),
+        violations: Vec::new(),
+    };
+    bx.card(plan, None, "root");
+    bx.finish();
+    if bx.violations.is_empty() {
+        Ok(bx.bounds)
+    } else {
+        Err(VerifyError {
+            violations: bx.violations,
         })
     }
 }
@@ -478,5 +664,152 @@ impl Cx {
         };
         self.report.max_placeholder_set = self.report.max_placeholder_set.max(set.len());
         set
+    }
+}
+
+/// The resource-bounds pass: a second bottom-up abstract interpretation
+/// over the cardinality domain [`Bound`], accumulating the per-plan
+/// peaks into [`Bounds`] and checking the cap-consistency rules.
+struct BoundsCx {
+    declared_cap: Option<usize>,
+    bounds: Bounds,
+    violations: Vec<Violation>,
+}
+
+impl BoundsCx {
+    fn push(&mut self, rule: Rule, path: &str, detail: String) {
+        self.violations.push(Violation {
+            rule,
+            path: path.to_string(),
+            detail,
+        });
+    }
+
+    fn finish(&mut self) {
+        self.bounds.peak_inflight = self.bounds.peak_buffered.plus(self.bounds.prefetch_refs);
+    }
+
+    /// Output-cardinality bound of `plan`. `enclosing_cap` is the
+    /// admission cap of the nearest enclosing ReqSync (`None` both for
+    /// "no enclosing ReqSync" and for an uncapped one — in either case
+    /// there is no admission bound for prefetch to respect).
+    fn card(&mut self, plan: &PhysPlan, enclosing_cap: Option<usize>, path: &str) -> Bound {
+        match plan {
+            PhysPlan::Values { rows, .. } => Bound::Finite(rows.len() as u64),
+            PhysPlan::SeqScan { .. } | PhysPlan::IndexScan { .. } => Bound::Unbounded,
+            PhysPlan::EVScan(spec) | PhysPlan::AEVScan(spec) => {
+                if matches!(plan, PhysPlan::AEVScan(_)) {
+                    let depth = spec.prefetch.depth as u64;
+                    self.bounds.prefetch_refs =
+                        self.bounds.prefetch_refs.plus(Bound::Finite(depth));
+                    if let Some(cap) = enclosing_cap {
+                        if depth > cap as u64 {
+                            self.push(
+                                Rule::PrefetchExceedsCap,
+                                path,
+                                format!(
+                                    "AEVScan '{}' stamped prefetch depth {depth} exceeds \
+                                     the enclosing ReqSync admission cap {cap}",
+                                    spec.alias
+                                ),
+                            );
+                        }
+                    }
+                }
+                match spec.kind {
+                    wsq_engine::plan::VTableKind::WebCount => Bound::Finite(1),
+                    wsq_engine::plan::VTableKind::WebPages => Bound::Finite(spec.rank_limit as u64),
+                }
+            }
+            PhysPlan::ReqSync { input, cap, .. } => {
+                if let (Some(declared), None) = (self.declared_cap, cap) {
+                    self.push(
+                        Rule::CapDropped,
+                        path,
+                        format!(
+                            "session declared reqsync_cap {declared} but this ReqSync \
+                             carries no stamped cap"
+                        ),
+                    );
+                }
+                if let (Some(declared), Some(stamped)) = (self.declared_cap, cap) {
+                    if *stamped > declared {
+                        self.push(
+                            Rule::CapDropped,
+                            path,
+                            format!(
+                                "session declared reqsync_cap {declared} but this ReqSync \
+                                 is stamped with looser cap {stamped}"
+                            ),
+                        );
+                    }
+                }
+                let child = self.card(input, *cap, &format!("{path}/ReqSync"));
+                let buffered = match cap {
+                    // Admit-before-check: high-water == cap exactly.
+                    Some(c) => child.min(Bound::Finite(*c as u64)),
+                    None => child,
+                };
+                self.bounds.peak_buffered = self.bounds.peak_buffered.max(buffered);
+                child
+            }
+            PhysPlan::Filter { input, .. }
+            | PhysPlan::Project { input, .. }
+            | PhysPlan::Distinct { input }
+            | PhysPlan::Sort { input, .. } => {
+                let name = match plan {
+                    PhysPlan::Filter { .. } => "Filter",
+                    PhysPlan::Project { .. } => "Project",
+                    PhysPlan::Distinct { .. } => "Distinct",
+                    _ => "Sort",
+                };
+                self.card(input, enclosing_cap, &format!("{path}/{name}"))
+            }
+            PhysPlan::Limit { input, n } => {
+                let inner = self.card(input, enclosing_cap, &format!("{path}/Limit"));
+                inner.min(Bound::Finite(*n))
+            }
+            PhysPlan::Aggregate {
+                input, group_by, ..
+            } => {
+                let inner = self.card(input, enclosing_cap, &format!("{path}/Aggregate"));
+                if group_by.is_empty() {
+                    Bound::Finite(1)
+                } else {
+                    inner // at most one row per distinct input row
+                }
+            }
+            PhysPlan::DependentJoin { left, right } => {
+                let l = self.card(left, enclosing_cap, &format!("{path}/DependentJoin.left"));
+                let r = self.card(right, enclosing_cap, &format!("{path}/DependentJoin.right"));
+                l.times(r)
+            }
+            PhysPlan::ParallelDependentJoin { left, spec, .. } => {
+                let l = self.card(
+                    left,
+                    enclosing_cap,
+                    &format!("{path}/ParallelDependentJoin.left"),
+                );
+                let per = match spec.kind {
+                    wsq_engine::plan::VTableKind::WebCount => Bound::Finite(1),
+                    wsq_engine::plan::VTableKind::WebPages => Bound::Finite(spec.rank_limit as u64),
+                };
+                l.times(per)
+            }
+            PhysPlan::NestedLoopJoin { left, right, .. } => {
+                let l = self.card(left, enclosing_cap, &format!("{path}/NestedLoopJoin.left"));
+                let r = self.card(
+                    right,
+                    enclosing_cap,
+                    &format!("{path}/NestedLoopJoin.right"),
+                );
+                l.times(r)
+            }
+            PhysPlan::CrossProduct { left, right } => {
+                let l = self.card(left, enclosing_cap, &format!("{path}/CrossProduct.left"));
+                let r = self.card(right, enclosing_cap, &format!("{path}/CrossProduct.right"));
+                l.times(r)
+            }
+        }
     }
 }

@@ -1,0 +1,15 @@
+// Seeded defect: a backend call under an `if let`-bound lock guard
+// (line 10) — the idiom the old line-based lint admitted it could not
+// see. The call after the block (line 13) is fine.
+
+struct Engine;
+
+impl Engine {
+    fn dispatch(&self, req: &Request) {
+        if let Ok(state) = self.state.lock() {
+            self.service.execute(req);
+            state.touch();
+        }
+        self.service.execute(req);
+    }
+}

@@ -1,0 +1,69 @@
+// Clean fixture: every idiom here is fine and must produce zero
+// findings — early drop, scoped guards, shadowing, statement
+// temporaries released at the semicolon, `let _ =` immediate drop,
+// separator/schema `join(…)` calls, and a properly looped condvar wait.
+
+struct Clean;
+
+impl Clean {
+    fn early_drop(&self, req: &Request) {
+        let st = self.state.lock();
+        st.touch();
+        drop(st);
+        self.service.execute(req);
+    }
+
+    fn scoped(&self, req: &Request) {
+        let prepared = {
+            let st = self.state.lock();
+            st.peek()
+        };
+        self.service.execute(&prepared);
+    }
+
+    fn shadowed(&self, req: &Request) {
+        let g = self.a.lock();
+        let g = g.upgrade();
+        drop(g);
+        self.service.execute(req);
+    }
+
+    fn temp_released(&self, req: &Request) {
+        let service = self.services.read().get(name).cloned();
+        service.execute(req);
+    }
+
+    fn underscore_drops_now(&self, req: &Request) {
+        let _ = self.state.lock();
+        self.service.execute(req);
+    }
+
+    fn joins_that_do_not_block(&self) {
+        let g = self.state.lock();
+        let s = parts.join(", ");
+        let schema = left.join(right);
+        g.store(s, schema);
+    }
+
+    fn looped_wait(&self) {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(v) = slot.take() {
+                return v;
+            }
+            self.cv.wait(&mut slot);
+        }
+    }
+
+    fn consistent_order(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        q.len() + s.total()
+    }
+
+    fn also_consistent(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        s.record(q.len());
+    }
+}

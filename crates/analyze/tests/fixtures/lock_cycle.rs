@@ -1,0 +1,24 @@
+// Seeded defect: lock-acquisition-order cycle across a call chain.
+// `submit` takes `queue` then calls `flush_inner`, which takes `stats`;
+// `report` takes `stats` then `queue` directly. queue -> stats -> queue.
+
+struct Pump;
+
+impl Pump {
+    fn submit(&self) {
+        let q = self.queue.lock();
+        self.flush_inner();
+        drop(q);
+    }
+
+    fn flush_inner(&self) {
+        let s = self.stats.lock();
+        s.touch();
+    }
+
+    fn report(&self) {
+        let s = self.stats.lock();
+        let q = self.queue.lock();
+        q.len() + s.total()
+    }
+}

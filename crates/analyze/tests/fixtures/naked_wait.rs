@@ -1,0 +1,19 @@
+// Seeded defect: a condvar wait with no predicate re-check loop (line
+// 16). The waiter in `sleep_ok` is correct and must not be flagged.
+
+struct Waiter;
+
+impl Waiter {
+    fn sleep_ok(&self) {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            self.cv.wait(&mut slot);
+        }
+    }
+
+    fn sleep_bad(&self) {
+        let mut slot = self.slot.lock();
+        self.cv.wait(&mut slot);
+        slot.take()
+    }
+}

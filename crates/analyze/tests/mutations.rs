@@ -7,9 +7,10 @@
 //! verifier rejects **every** corrupted plan — and that each class
 //! triggers the specific rule it was designed to break at least once.
 
-use wsq_analyze::{apply_mutation, verify_async, Mutation, Rule, ALL_MUTATIONS};
+use wsq_analyze::{apply_mutation, verify_async, verify_bounds, Mutation, Rule, ALL_MUTATIONS};
 use wsq_common::{Column, DataType, Schema};
 use wsq_engine::asyncify;
+use wsq_engine::asyncify::asyncify_with_opts;
 use wsq_engine::plan::{
     BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, PrefetchHint, VTableKind,
 };
@@ -116,6 +117,8 @@ fn expected_rule(m: Mutation) -> Rule {
         Mutation::ComputeOverPlaceholder => Rule::ReadsPlaceholder,
         Mutation::BindToPlaceholder => Rule::BindingReadsPlaceholder,
         Mutation::DesyncScan => Rule::SyncScanInAsyncPlan,
+        Mutation::ForgePrefetchDepth => Rule::PrefetchExceedsCap,
+        Mutation::DropStampedCap => Rule::CapDropped,
     }
 }
 
@@ -153,6 +156,12 @@ fn every_mutation_class_is_rejected() {
         .collect();
 
     for &m in ALL_MUTATIONS {
+        // cap-dropped is relative to the *session's declared* cap, which
+        // `verify_async` alone cannot know; it has its own harness below
+        // (`resource_bound_mutations_fail_against_the_declared_cap`).
+        if m == Mutation::DropStampedCap {
+            continue;
+        }
         let mut applied = 0usize;
         let mut hit_expected = false;
         for (name, plan) in &asyncified {
@@ -185,6 +194,67 @@ fn every_mutation_class_is_rejected() {
             expected_rule(m)
         );
     }
+}
+
+/// The resource-bound rules, exercised against plans stamped under a
+/// declared session cap: forging a prefetch depth above the cap trips
+/// `prefetch-exceeds-cap`, erasing a stamped cap trips `cap-dropped`.
+#[test]
+fn resource_bound_mutations_fail_against_the_declared_cap() {
+    const DECLARED: usize = 6;
+    let hint = PrefetchHint {
+        depth: 4,
+        window: 1,
+        adaptive: false,
+    };
+    let mut applied = [0usize; 2];
+    for (name, plan) in bases() {
+        let stamped = asyncify_with_opts(
+            plan,
+            PlacementStrategy::Full,
+            BufferMode::Full,
+            Some(DECLARED),
+            hint,
+        );
+        let bounds = verify_bounds(&stamped, Some(DECLARED))
+            .unwrap_or_else(|e| panic!("stamped base '{name}' fails bounds:\n{e}"));
+        assert!(
+            bounds
+                .peak_buffered
+                .le(wsq_analyze::Bound::Finite(DECLARED as u64)),
+            "base '{name}': peak buffered {} above declared cap {DECLARED}",
+            bounds.peak_buffered
+        );
+
+        if let Some(mutated) = apply_mutation(&stamped, Mutation::ForgePrefetchDepth) {
+            applied[0] += 1;
+            let err = verify_bounds(&mutated, Some(DECLARED))
+                .expect_err("forged prefetch depth must be rejected");
+            assert!(
+                err.violations
+                    .iter()
+                    .any(|v| v.rule == Rule::PrefetchExceedsCap),
+                "base '{name}': expected prefetch-exceeds-cap, got: {err}"
+            );
+            // The same forgery is visible without the declared cap: the
+            // stamped plan is self-inconsistent, so plain verify_async
+            // rejects it too.
+            assert!(verify_async(&mutated).is_err());
+        }
+        if let Some(mutated) = apply_mutation(&stamped, Mutation::DropStampedCap) {
+            applied[1] += 1;
+            let err = verify_bounds(&mutated, Some(DECLARED))
+                .expect_err("dropped stamped cap must be rejected");
+            assert!(
+                err.violations.iter().any(|v| v.rule == Rule::CapDropped),
+                "base '{name}': expected cap-dropped, got: {err}"
+            );
+        }
+    }
+    assert!(
+        applied[0] >= 1 && applied[1] >= 1,
+        "resource-bound mutations must apply to the base family: {applied:?}"
+    );
 }
 
 /// The verifier catches corruption even when several mutations stack.

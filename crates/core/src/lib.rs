@@ -289,7 +289,7 @@ impl Wsq {
                 // (skipped when the raw statement cannot be planned
                 // stand-alone, e.g. unresolved subqueries).
                 if let Ok(plan) = self.db.plan_query(&sel, &self.engines, self.opts) {
-                    report.push_str(&verify_line(&plan, self.opts.mode));
+                    report.push_str(&verify_line(&plan, self.opts.mode, self.opts.reqsync_cap));
                 }
                 Ok((result, report))
             }
@@ -315,7 +315,7 @@ impl Wsq {
             wsq_sql::Statement::Select(sel) => {
                 let plan = self.db.plan_query(&sel, &self.engines, self.opts)?;
                 let mut out = plan.display();
-                out.push_str(&verify_line(&plan, self.opts.mode));
+                out.push_str(&verify_line(&plan, self.opts.mode, self.opts.reqsync_cap));
                 Ok(out)
             }
             _ => Err(WsqError::Plan(
@@ -453,12 +453,19 @@ impl Wsq {
 }
 
 /// One report line with the verifier's verdict on `plan` under `mode`
-/// (synchronous plans may contain `EVScan`s; asynchronous ones may not).
-fn verify_line(plan: &wsq_engine::plan::PhysPlan, mode: ExecutionMode) -> String {
+/// (synchronous plans may contain `EVScan`s; asynchronous ones may
+/// not). `declared_cap` is the session's `reqsync_cap`: the
+/// resource-bound rules prove the stamped plan honours it.
+fn verify_line(
+    plan: &wsq_engine::plan::PhysPlan,
+    mode: ExecutionMode,
+    declared_cap: Option<usize>,
+) -> String {
     let verdict = match mode {
         ExecutionMode::Asynchronous => wsq_analyze::verify_async(plan),
         _ => wsq_analyze::verify(plan),
-    };
+    }
+    .and_then(|report| wsq_analyze::verify_bounds(plan, declared_cap).map(|_| report));
     match verdict {
         Ok(report) => format!("-- verify: ok ({report})\n"),
         Err(e) => format!("-- verify: FAILED: {e}"),

@@ -533,9 +533,10 @@ impl Database {
                 );
                 // Debug-assert gate: the placeholder-dataflow verifier
                 // (wsq-analyze) rejects any clash-rule violation the
-                // transformation might have emitted.
+                // transformation might have emitted, and proves the
+                // stamped caps honour the session's reqsync_cap.
                 if cfg!(debug_assertions) {
-                    crate::verify_gate::check(&plan)?;
+                    crate::verify_gate::check(&plan, opts.reqsync_cap)?;
                 }
                 plan
             }

@@ -15,8 +15,11 @@ use crate::plan::PhysPlan;
 use std::sync::OnceLock;
 use wsq_common::{Result, WsqError};
 
-/// A plan verifier: `Err` carries the human-readable violation list.
-pub type PlanGate = fn(&PhysPlan) -> std::result::Result<(), String>;
+/// A plan verifier. The second argument is the session's declared
+/// `reqsync_cap` at planning time, so the verifier can prove the
+/// stamped plan honours it (resource-bound rules). `Err` carries the
+/// human-readable violation list.
+pub type PlanGate = fn(&PhysPlan, Option<usize>) -> std::result::Result<(), String>;
 
 static GATE: OnceLock<PlanGate> = OnceLock::new();
 
@@ -27,11 +30,11 @@ pub fn install(gate: PlanGate) {
     let _ = GATE.set(gate);
 }
 
-/// Run the installed gate (if any) against `plan`, mapping violations
-/// to [`WsqError::Plan`].
-pub fn check(plan: &PhysPlan) -> Result<()> {
+/// Run the installed gate (if any) against `plan` with the session's
+/// declared `reqsync_cap`, mapping violations to [`WsqError::Plan`].
+pub fn check(plan: &PhysPlan, declared_cap: Option<usize>) -> Result<()> {
     if let Some(gate) = GATE.get() {
-        if let Err(msg) = gate(plan) {
+        if let Err(msg) = gate(plan, declared_cap) {
             return Err(WsqError::Plan(format!(
                 "asyncify emitted an invalid plan (verifier): {msg}"
             )));

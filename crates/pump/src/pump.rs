@@ -578,8 +578,15 @@ impl ReqPump {
             w.wake(Wake::Shutdown);
         }
         self.shared.work_cv.notify_all();
-        let mut workers = self.workers.lock();
-        for w in workers.drain(..) {
+        // Take the handles out under the lock, then join with the guard
+        // released: a worker blocked on re-acquiring `workers` (or a
+        // second `shutdown()` racing this one) must not deadlock the
+        // join loop.
+        let handles: Vec<_> = {
+            let mut workers = self.workers.lock();
+            workers.drain(..).collect()
+        };
+        for w in handles {
             let _ = w.join();
         }
     }

@@ -4,28 +4,51 @@
 //! cargo xtask lint
 //! ```
 //!
-//! Runs the `wsq-analyze` source lints over the engine/pump/websim
-//! crates and enforces two gates (both run in CI):
+//! Runs the `wsq-analyze` static analyses and enforces three gates
+//! (all run in CI), then writes a machine-readable `lint_report.json`
+//! at the repo root (uploaded as a CI artifact):
 //!
 //! 1. **Panic-site budget**: `.unwrap()` / `.expect(` in non-test code
 //!    of `crates/engine` and `crates/pump` is compared per file against
 //!    `crates/xtask/panic-allowlist.txt`. New sites fail; the allowlist
 //!    may only shrink (a stale, too-generous entry also fails, so the
 //!    burn-down count stays honest).
-//! 2. **No locks across backend calls**: a `let`-bound lock guard still
-//!    live at a `.execute(` call site fails, in any scanned crate.
+//! 2. **Concurrency audit** (`wsq_analyze::conc`): blocking calls under
+//!    live lock guards, condvar waits outside predicate loops, and
+//!    lock-acquisition-order cycles over engine/pump/obs/websim.
+//!    Pre-existing findings live in `crates/xtask/conc-allowlist.txt`
+//!    with the same shrink-only discipline.
+//! 3. **Resource bounds** (`wsq_analyze::verify_bounds`): a
+//!    representative capped plan family is asyncified and its symbolic
+//!    peaks proven ≤ the stamped caps; the bounds land in the report.
 
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use wsq_analyze::conc::{audit_dirs, AuditConfig, ConcFinding};
 use wsq_analyze::lint::{scan_dir, FileLint};
+use wsq_analyze::{verify_bounds, Bound, Bounds};
+use wsq_common::{Column, DataType, Schema};
+use wsq_engine::asyncify::asyncify_with_opts;
+use wsq_engine::plan::{
+    BufferMode, EvBinding, EvSpec, PhysPlan, PlacementStrategy, PrefetchHint, VTableKind,
+};
+use wsq_sql::ast::ColumnRef;
 
 /// Crates whose panic sites are budgeted by the allowlist.
 const PANIC_BUDGET_DIRS: &[&str] = &["crates/engine/src", "crates/pump/src"];
 
-/// Crates additionally scanned for locks held across backend calls.
-const LOCK_LINT_DIRS: &[&str] = &["crates/engine/src", "crates/pump/src", "crates/websim/src"];
+/// Crates scanned by the concurrency auditor.
+const CONC_AUDIT_DIRS: &[&str] = &[
+    "crates/engine/src",
+    "crates/pump/src",
+    "crates/obs/src",
+    "crates/websim/src",
+];
 
-const ALLOWLIST: &str = "crates/xtask/panic-allowlist.txt";
+const PANIC_ALLOWLIST: &str = "crates/xtask/panic-allowlist.txt";
+const CONC_ALLOWLIST: &str = "crates/xtask/conc-allowlist.txt";
+const REPORT: &str = "lint_report.json";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,10 +80,10 @@ fn lint() -> ExitCode {
     let mut errors: Vec<String> = Vec::new();
 
     // Pass 1: panic-site budget over engine + pump.
-    let allowlist = match load_allowlist(&root.join(ALLOWLIST)) {
+    let allowlist = match load_allowlist(&root.join(PANIC_ALLOWLIST)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: cannot read {ALLOWLIST}: {e}");
+            eprintln!("error: cannot read {PANIC_ALLOWLIST}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -90,35 +113,125 @@ fn lint() -> ExitCode {
             errors.push(format!(
                 "{}: allowlist grants {} panic site(s) but only {} remain \
                  — ratchet {} down so the budget cannot regrow",
-                f.path, allowed, actual, ALLOWLIST
+                f.path, allowed, actual, PANIC_ALLOWLIST
             ));
         }
     }
     for (p, n) in &allowlist {
         if *n > 0 && !budgeted.iter().any(|f| &f.path == p) {
             errors.push(format!(
-                "{ALLOWLIST} lists `{p}` ({n} site(s)) but no such file was scanned"
+                "{PANIC_ALLOWLIST} lists `{p}` ({n} site(s)) but no such file was scanned"
             ));
         }
     }
 
-    // Pass 2: lock guards across backend calls, everywhere scanned.
-    for dir in LOCK_LINT_DIRS {
-        match scan_dir(&root.join(dir), &root) {
-            Ok(files) => {
-                for f in files {
-                    errors.extend(f.lock_violations);
-                }
-            }
-            Err(e) => errors.push(format!("scanning {dir}: {e}")),
+    // Pass 2: the concurrency audit, with its own burn-down allowlist
+    // keyed `path rule count`.
+    let conc_allowlist = match load_allowlist(&root.join(CONC_ALLOWLIST)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: cannot read {CONC_ALLOWLIST}: {e}");
+            return ExitCode::FAILURE;
         }
+    };
+    let dirs: Vec<PathBuf> = CONC_AUDIT_DIRS.iter().map(|d| root.join(d)).collect();
+    let findings = match audit_dirs(&dirs, &root, &AuditConfig::default()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: concurrency audit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut allowlisted = 0usize;
+    for f in &findings {
+        let key = format!("{}:{}", f.file, f.rule.name());
+        let allowed = conc_allowlist
+            .iter()
+            .find(|(p, _)| p == &key)
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        let seen = findings
+            .iter()
+            .filter(|g| g.file == f.file && g.rule == f.rule)
+            .count();
+        if seen > allowed {
+            errors.push(format!("concurrency: {f}"));
+        } else {
+            allowlisted += 1;
+        }
+    }
+    for (key, n) in &conc_allowlist {
+        let Some((file, rule)) = key.rsplit_once(':') else {
+            errors.push(format!("{CONC_ALLOWLIST}: malformed key `{key}`"));
+            continue;
+        };
+        let seen = findings
+            .iter()
+            .filter(|g| g.file == file && g.rule.name() == rule)
+            .count();
+        if seen < *n {
+            errors.push(format!(
+                "{CONC_ALLOWLIST} grants {n} `{rule}` finding(s) in {file} but only \
+                 {seen} remain — ratchet the allowlist down so findings cannot regrow"
+            ));
+        }
+    }
+
+    // Pass 3: static resource bounds over a representative capped plan
+    // family (the proptest corpus in tests/equivalence.rs covers the
+    // random sweep; this keeps the proven peaks visible per lint run).
+    let mut bound_rows: Vec<(String, Bounds, usize, bool)> = Vec::new();
+    for (name, cap, depth) in [("fanout", 8usize, 4usize), ("nested", 4, 2)] {
+        let plan = representative_plan(name);
+        let stamped = asyncify_with_opts(
+            plan,
+            PlacementStrategy::Full,
+            BufferMode::Full,
+            Some(cap),
+            PrefetchHint {
+                depth,
+                window: 8,
+                adaptive: false,
+            },
+        );
+        match verify_bounds(&stamped, Some(cap)) {
+            Ok(b) => {
+                let ok = b.peak_buffered.le(Bound::Finite(cap as u64));
+                if !ok {
+                    errors.push(format!(
+                        "resource bounds: plan '{name}' peak buffered {} above cap {cap}",
+                        b.peak_buffered
+                    ));
+                }
+                bound_rows.push((name.to_string(), b, cap, ok));
+            }
+            Err(e) => errors.push(format!("resource bounds: plan '{name}' rejected: {e}")),
+        }
+    }
+
+    // Machine-readable report (consumed by CI as an artifact).
+    let report = render_report(
+        total,
+        &budgeted,
+        &findings,
+        allowlisted,
+        &bound_rows,
+        &errors,
+    );
+    if let Err(e) = std::fs::write(root.join(REPORT), report) {
+        eprintln!("error: cannot write {REPORT}: {e}");
+        return ExitCode::FAILURE;
     }
 
     if errors.is_empty() {
         let budget: usize = allowlist.iter().map(|&(_, n)| n).sum();
         println!(
             "xtask lint: ok — {total} panic site(s) within budget {budget}, \
-             no locks held across backend calls"
+             {} concurrency finding(s) ({} allowlisted), resource bounds proven \
+             for {} plan(s); report written to {REPORT}",
+            findings.len(),
+            allowlisted,
+            bound_rows.len()
         );
         ExitCode::SUCCESS
     } else {
@@ -130,7 +243,137 @@ fn lint() -> ExitCode {
     }
 }
 
-/// Parse the allowlist: one `path count` pair per line; `#` comments.
+/// A small capped plan family for the resource-bounds report: the
+/// paper's 50-state fan-out shape, and a two-table nested dependent
+/// join.
+fn representative_plan(name: &str) -> PhysPlan {
+    let states = PhysPlan::SeqScan {
+        table: "States".to_string(),
+        alias: "States".to_string(),
+        schema: Schema::new(vec![
+            Column::qualified("States", "Name", DataType::Varchar),
+            Column::qualified("States", "Population", DataType::Int),
+        ]),
+    };
+    let spec = |alias: &str, kind| EvSpec {
+        kind,
+        engine: "AV".into(),
+        alias: alias.to_string(),
+        template: None,
+        bindings: vec![EvBinding::Column(ColumnRef {
+            qualifier: Some("States".into()),
+            name: "Name".into(),
+        })],
+        rank_limit: 3,
+        supports_near: true,
+        prefetch: PrefetchHint::default(),
+    };
+    match name {
+        "nested" => PhysPlan::DependentJoin {
+            left: Box::new(PhysPlan::DependentJoin {
+                left: Box::new(states),
+                right: Box::new(PhysPlan::EVScan(spec("V1", VTableKind::WebCount))),
+            }),
+            right: Box::new(PhysPlan::EVScan(spec("V2", VTableKind::WebPages))),
+        },
+        _ => PhysPlan::DependentJoin {
+            left: Box::new(states),
+            right: Box::new(PhysPlan::EVScan(spec("V1", VTableKind::WebCount))),
+        },
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serde; the shape is small and
+/// stable). Strings are escaped minimally (quote, backslash, control).
+fn render_report(
+    panic_total: usize,
+    budgeted: &[FileLint],
+    findings: &[ConcFinding],
+    allowlisted: usize,
+    bounds: &[(String, Bounds, usize, bool)],
+    errors: &[String],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"panic_budget\": {\n");
+    let _ = writeln!(s, "    \"total\": {panic_total},");
+    s.push_str("    \"files\": [");
+    for (i, f) in budgeted.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n      {{\"path\": {}, \"unwraps\": {}, \"expects\": {}}}",
+            json_str(&f.path),
+            f.unwraps,
+            f.expects
+        );
+    }
+    s.push_str("\n    ]\n  },\n  \"concurrency\": {\n");
+    let _ = writeln!(s, "    \"total\": {},", findings.len());
+    let _ = writeln!(s, "    \"allowlisted\": {allowlisted},");
+    s.push_str("    \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n      {{\"rule\": {}, \"file\": {}, \"line\": {}, \"function\": {}, \
+             \"detail\": {}}}",
+            json_str(f.rule.name()),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.function),
+            json_str(&f.detail)
+        );
+    }
+    s.push_str("\n    ]\n  },\n  \"resource_bounds\": [");
+    for (i, (name, b, cap, ok)) in bounds.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"plan\": {}, \"cap\": {cap}, \"peak_buffered\": {}, \
+             \"prefetch_refs\": {}, \"peak_inflight\": {}, \"within_cap\": {ok}}}",
+            json_str(name),
+            json_str(&b.peak_buffered.to_string()),
+            json_str(&b.prefetch_refs.to_string()),
+            json_str(&b.peak_inflight.to_string())
+        );
+    }
+    s.push_str("\n  ],\n  \"errors\": [");
+    for (i, e) in errors.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n    {}", json_str(e));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse an allowlist: one `key count` pair per line; `#` comments.
 fn load_allowlist(path: &Path) -> Result<Vec<(String, usize)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let mut out = Vec::new();
@@ -141,7 +384,7 @@ fn load_allowlist(path: &Path) -> Result<Vec<(String, usize)>, String> {
         }
         let mut parts = line.split_whitespace();
         let (Some(p), Some(n)) = (parts.next(), parts.next()) else {
-            return Err(format!("line {}: expected `path count`", lineno + 1));
+            return Err(format!("line {}: expected `key count`", lineno + 1));
         };
         let n: usize = n
             .parse()

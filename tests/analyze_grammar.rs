@@ -11,7 +11,9 @@
 //!                 stall_p95=.. buffered_hw=.. events=.. dropped=.."
 //! cache_line  := "-- cache[ENGINE]: hits=.. misses=.. coalesced=.. evictions=..
 //!                 expirations=.."
-//! verify_line := "-- verify: ok (..)" | "-- verify: FAILED: .."
+//! verify_line := "-- verify: ok (verified .. nodes: .., peak buffered B,
+//!                 prefetch refs B, peak in-flight B)" | "-- verify: FAILED: .."
+//! bound       := n | "inf"
 //! ```
 //!
 //! Tools (and the README transcript) parse these lines; a change to the
@@ -221,6 +223,23 @@ fn analyze_report_matches_the_documented_grammar() {
         verify.starts_with("-- verify: ok (verified ") && verify.ends_with(')'),
         "verify footer shape: {verify:?}"
     );
+    // The static resource bounds ride inside the parens, in order, each
+    // a bound (`n` or `inf`).
+    let body = verify
+        .strip_prefix("-- verify: ok (")
+        .unwrap()
+        .strip_suffix(')')
+        .unwrap();
+    for key in ["peak buffered ", "prefetch refs ", "peak in-flight "] {
+        let (_, rest) = body
+            .split_once(key)
+            .unwrap_or_else(|| panic!("verify footer lacks `{key}`: {verify:?}"));
+        let bound = rest.split([',', ')']).next().unwrap();
+        assert!(
+            bound == "inf" || bound.parse::<u64>().is_ok(),
+            "bad bound {bound:?} for `{key}` in {verify:?}"
+        );
+    }
 }
 
 #[test]

@@ -288,6 +288,35 @@ proptest! {
                     depth, window, strategy, buffer, cap, q.sql);
                 prop_assert_eq!(ppump.live_calls(), 0,
                     "prefetch depth={} window={} leaked calls", depth, window);
+
+                // Static resource bounds hold for the exact plan that
+                // just ran: every stamped ReqSync cap honours the
+                // session cap, no AEVScan's prefetch depth exceeds its
+                // enclosing cap, and the symbolic peak of buffered
+                // tuples is provably <= the cap.
+                let stmt = wsqdsq::sql::parse_one(&q.sql).unwrap();
+                let sel = match stmt {
+                    wsqdsq::sql::Statement::Select(s) => s,
+                    _ => unreachable!(),
+                };
+                let plan = db.plan_query(&sel, &registry(), EngineOpts {
+                    mode: ExecutionMode::Asynchronous,
+                    strategy,
+                    buffer,
+                    reqsync_cap: cap,
+                    prefetch_depth: depth,
+                    prefetch_window: window,
+                    ..Default::default()
+                }).unwrap();
+                let bounds = wsq_analyze::verify_bounds(&plan, cap)
+                    .unwrap_or_else(|e| panic!(
+                        "bounds rejected (cap={cap:?} depth={depth}): {e}\nplan: {plan:?}"));
+                if let Some(cap) = cap {
+                    prop_assert!(
+                        bounds.peak_buffered.le(wsq_analyze::Bound::Finite(cap as u64)),
+                        "peak buffered {} above cap {} for: {}",
+                        bounds.peak_buffered, cap, q.sql);
+                }
             }
         }
     }
